@@ -1,0 +1,190 @@
+//! Selecting the corrupted player set.
+
+use byzscore_model::Instance;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How the dishonest player set is chosen.
+///
+/// The paper's bound tolerates *any* set of up to `n/(3B)` dishonest
+/// players; experiments therefore exercise random sets (average case),
+/// prefix sets (deterministic reproduction), and sets planted inside one
+/// target cluster (the hardest case for the Lemma 13 argument: maximal
+/// per-cluster contamination).
+#[derive(Clone, Debug)]
+pub enum Corruption {
+    /// Everybody honest.
+    None,
+    /// A uniformly random subset of exactly `count` players.
+    Count {
+        /// Number of dishonest players.
+        count: usize,
+    },
+    /// A uniformly random subset: each player dishonest with probability
+    /// `fraction` (binomially distributed total).
+    RandomFraction {
+        /// Per-player corruption probability in `[0,1]`.
+        fraction: f64,
+    },
+    /// Players `0..count` are dishonest (deterministic; useful in unit
+    /// tests).
+    FirstK {
+        /// Number of dishonest players.
+        count: usize,
+    },
+    /// `count` dishonest players planted *inside planted cluster `cluster`*
+    /// (falls back to random players if the cluster is smaller). Requires a
+    /// planted instance.
+    InCluster {
+        /// Index of the targeted planted cluster.
+        cluster: usize,
+        /// Number of dishonest players.
+        count: usize,
+    },
+}
+
+impl Corruption {
+    /// Produce the dishonest mask for `instance`, deterministically from
+    /// `seed`.
+    pub fn select(&self, instance: &Instance, seed: u64) -> Vec<bool> {
+        let n = instance.players();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xbad0_5eed_0000_0001);
+        let mut mask = vec![false; n];
+        match *self {
+            Corruption::None => {}
+            Corruption::Count { count } => {
+                assert!(count <= n, "cannot corrupt {count} of {n}");
+                let mut ids: Vec<usize> = (0..n).collect();
+                ids.shuffle(&mut rng);
+                for &p in &ids[..count] {
+                    mask[p] = true;
+                }
+            }
+            Corruption::RandomFraction { fraction } => {
+                use rand::Rng;
+                assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+                for m in mask.iter_mut() {
+                    *m = rng.gen_bool(fraction);
+                }
+            }
+            Corruption::FirstK { count } => {
+                assert!(count <= n, "cannot corrupt {count} of {n}");
+                for m in mask.iter_mut().take(count) {
+                    *m = true;
+                }
+            }
+            Corruption::InCluster { cluster, count } => {
+                let planted = instance
+                    .planted()
+                    .expect("InCluster corruption requires a planted instance");
+                let mut members: Vec<u32> =
+                    planted.clusters.get(cluster).cloned().unwrap_or_default();
+                members.shuffle(&mut rng);
+                let in_cluster = members.len().min(count);
+                for &p in &members[..in_cluster] {
+                    mask[p as usize] = true;
+                }
+                // Overflow spills onto random players outside the cluster.
+                if in_cluster < count {
+                    let mut rest: Vec<usize> = (0..n).filter(|&p| !mask[p]).collect();
+                    rest.shuffle(&mut rng);
+                    for &p in rest.iter().take(count - in_cluster) {
+                        mask[p] = true;
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    /// The paper's tolerance threshold `n/(3B)` for `n` players and budget
+    /// `B`.
+    pub fn paper_threshold(n: usize, budget: usize) -> usize {
+        n / (3 * budget.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_model::Workload;
+
+    fn inst() -> Instance {
+        Workload::PlantedClusters {
+            players: 32,
+            objects: 32,
+            clusters: 4,
+            diameter: 4,
+            balance: byzscore_model::Balance::Even,
+        }
+        .generate(1)
+    }
+
+    #[test]
+    fn none_corrupts_nobody() {
+        let m = Corruption::None.select(&inst(), 0);
+        assert!(m.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn count_exact() {
+        let m = Corruption::Count { count: 5 }.select(&inst(), 3);
+        assert_eq!(m.iter().filter(|&&d| d).count(), 5);
+    }
+
+    #[test]
+    fn count_deterministic_in_seed() {
+        let a = Corruption::Count { count: 7 }.select(&inst(), 9);
+        let b = Corruption::Count { count: 7 }.select(&inst(), 9);
+        let c = Corruption::Count { count: 7 }.select(&inst(), 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn first_k_prefix() {
+        let m = Corruption::FirstK { count: 3 }.select(&inst(), 0);
+        assert_eq!(m[..4], [true, true, true, false]);
+    }
+
+    #[test]
+    fn in_cluster_targets_cluster() {
+        let instance = inst();
+        let planted = instance.planted().unwrap().clone();
+        let m = Corruption::InCluster {
+            cluster: 1,
+            count: 4,
+        }
+        .select(&instance, 5);
+        let corrupted: Vec<usize> = (0..32).filter(|&p| m[p]).collect();
+        assert_eq!(corrupted.len(), 4);
+        for &p in &corrupted {
+            assert_eq!(planted.assignment[p], 1, "player {p} not in cluster 1");
+        }
+    }
+
+    #[test]
+    fn in_cluster_overflows_gracefully() {
+        let instance = inst(); // clusters of size 8
+        let m = Corruption::InCluster {
+            cluster: 0,
+            count: 12,
+        }
+        .select(&instance, 5);
+        assert_eq!(m.iter().filter(|&&d| d).count(), 12);
+    }
+
+    #[test]
+    fn threshold_matches_paper() {
+        assert_eq!(Corruption::paper_threshold(300, 10), 10);
+        assert_eq!(Corruption::paper_threshold(100, 4), 8);
+        assert_eq!(Corruption::paper_threshold(10, 0), 3, "budget clamps to 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot corrupt")]
+    fn count_too_large_panics() {
+        Corruption::Count { count: 33 }.select(&inst(), 0);
+    }
+}

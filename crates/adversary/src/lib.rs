@@ -1,0 +1,35 @@
+//! Corruption models and dishonest-player strategies.
+//!
+//! The paper's fault model (§2, §7): up to `n/(3B)` players "may ignore the
+//! protocol, lying about [their] preferences and attempting to improperly
+//! influence the output", possibly *colluding*. They cannot forge honest
+//! players' bulletin-board entries (enforced by the board's authenticated
+//! slots), but everything they post themselves is attacker-chosen.
+//!
+//! We implement the strongest admissible adversary: **omniscient** (reads
+//! the whole hidden truth matrix and the set of corrupted players) and
+//! **coordinated** (strategies share a [`CollusionState`] scratchpad). The
+//! paper's guarantees must — and, per experiment E9, do — hold against it.
+//!
+//! * [`Corruption`] selects *which* players are dishonest (random fraction,
+//!   exact count, targeted inside a planted cluster for hijack experiments).
+//! * [`Strategy`] decides *what* a dishonest player posts at each protocol
+//!   phase; implementations range from control (behave honestly) through
+//!   random lying to targeted cluster hijacking (the attack Lemma 13 is
+//!   about).
+//! * [`Behaviors`] bundles the mask and strategy behind the single call
+//!   surface the protocol crates use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behaviors;
+mod corruption;
+mod strategy;
+
+pub use behaviors::Behaviors;
+pub use corruption::Corruption;
+pub use strategy::{
+    AdvCtx, AntiMajority, ClusterHijacker, CollusionState, Inverter, Phase, RandomLiar, Sleeper,
+    Strategy, Truthful,
+};

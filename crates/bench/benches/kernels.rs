@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks for the hot kernels (experiment K, part 1):
+//! Hamming distance, bounded distance, majority folds, vote tallies, and
+//! neighbor-graph construction — the primitives every protocol phase leans
+//! on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use byzscore::cluster::neighbor_graph;
+use byzscore_bitset::{majority_fold, BitVec, Bits};
+use byzscore_blocks::VoteTally;
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming");
+    for bits in [1024usize, 4096, 16384] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = BitVec::random(&mut rng, bits);
+        let b = BitVec::random(&mut rng, bits);
+        group.throughput(Throughput::Bytes((bits / 8) as u64));
+        group.bench_with_input(BenchmarkId::new("full", bits), &bits, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.hamming(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("within-64", bits), &bits, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.hamming_within(&b, 64)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_majority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("majority_fold");
+    for voters in [8usize, 64, 256] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let vs: Vec<BitVec> = (0..voters)
+            .map(|_| BitVec::random(&mut rng, 2048))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(voters), &voters, |bench, _| {
+            bench.iter(|| std::hint::black_box(majority_fold(&vs, false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vote_tally(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vote_tally");
+    for classes in [2usize, 8, 32] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let reps: Vec<BitVec> = (0..classes)
+            .map(|_| BitVec::random(&mut rng, 512))
+            .collect();
+        let votes: Vec<BitVec> = (0..512).map(|i| reps[i % classes].clone()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &classes,
+            |bench, _| {
+                bench.iter(|| std::hint::black_box(VoteTally::tally(votes.iter()).entries.len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_neighbor_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_graph");
+    group.sample_size(10);
+    for players in [128usize, 512] {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let center = BitVec::random(&mut rng, 1024);
+        let zs: Vec<BitVec> = (0..players)
+            .map(|_| {
+                let mut v = center.clone();
+                v.flip_random_distinct(&mut rng, 32);
+                v
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(players),
+            &players,
+            |bench, _| {
+                bench.iter(|| std::hint::black_box(neighbor_graph(&zs, 48).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_hamming,
+    bench_majority,
+    bench_vote_tally,
+    bench_neighbor_graph
+);
+criterion_main!(kernels);

@@ -1,0 +1,149 @@
+//! Criterion benchmarks for whole protocol phases (experiment K, part 2):
+//! `ZeroRadius`, `SmallRadius`, the full `CalculatePreferences`, the robust
+//! wrapper, the baselines, and the leader election.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_adversary::Behaviors;
+use byzscore_blocks::{small_radius, zero_radius, BlockParams, Ctx};
+use byzscore_board::{Board, Oracle};
+use byzscore_election::{elect, ElectionParams, GreedyInfiltrate};
+use byzscore_model::{Balance, Instance, Workload};
+use byzscore_random::Beacon;
+
+fn clone_instance(n: usize) -> Instance {
+    Workload::CloneClasses {
+        players: n,
+        objects: n,
+        classes: 4,
+        balance: Balance::Even,
+    }
+    .generate(9)
+}
+
+fn planted_instance(n: usize, m: usize) -> Instance {
+    Workload::PlantedClusters {
+        players: n,
+        objects: m,
+        clusters: 4,
+        diameter: 8,
+        balance: Balance::Even,
+    }
+    .generate(9)
+}
+
+fn bench_zero_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_radius");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let inst = clone_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let players: Vec<u32> = (0..n as u32).collect();
+            let objects: Vec<u32> = (0..n as u32).collect();
+            let params = BlockParams::with_budget(4);
+            bench.iter(|| {
+                let oracle = Oracle::new(inst.truth());
+                let board = Board::new();
+                let behaviors = Behaviors::all_honest(inst.truth());
+                let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(3), &params);
+                std::hint::black_box(zero_radius(&ctx, &players, &objects, 4, &[1]).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_radius");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let inst = planted_instance(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let players: Vec<u32> = (0..n as u32).collect();
+            let objects: Vec<u32> = (0..n as u32).collect();
+            let params = BlockParams::with_budget(4);
+            bench.iter(|| {
+                let oracle = Oracle::new(inst.truth());
+                let board = Board::new();
+                let behaviors = Behaviors::all_honest(inst.truth());
+                let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(5), &params);
+                std::hint::black_box(small_radius(&ctx, &players, &objects, 8, &[1]).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calculate_preferences");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let inst = planted_instance(n, 2 * n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+            bench.iter(|| {
+                std::hint::black_box(sys.run(Algorithm::CalculatePreferences, 7).errors.max)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_robust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust");
+    group.sample_size(10);
+    let n = 64usize;
+    let inst = planted_instance(n, 2 * n);
+    group.bench_function(BenchmarkId::from_parameter(n), |bench| {
+        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+        bench.iter(|| std::hint::black_box(sys.run(Algorithm::Robust, 7).errors.max));
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let n = 128usize;
+    let inst = planted_instance(n, 2 * n);
+    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    for (name, alg) in [
+        ("naive-sampling", Algorithm::NaiveSampling),
+        ("solo", Algorithm::Solo),
+        ("global-majority", Algorithm::GlobalMajority),
+        ("oracle-clusters", Algorithm::OracleClusters),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| std::hint::black_box(sys.run(alg, 7).errors.max));
+        });
+    }
+    group.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election");
+    for n in [256usize, 1024] {
+        let dishonest: Vec<bool> = (0..n).map(|p| p % 5 == 0).collect();
+        let params = ElectionParams::for_players(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                std::hint::black_box(elect(&dishonest, &GreedyInfiltrate, &params, seed).leader)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    protocol,
+    bench_zero_radius,
+    bench_small_radius,
+    bench_full_protocol,
+    bench_robust,
+    bench_baselines,
+    bench_election
+);
+criterion_main!(protocol);

@@ -1,0 +1,4 @@
+//! Experiment binary: see DESIGN.md §5. `BYZ_FULL=1` for the full sweep.
+fn main() {
+    byzscore_bench::experiments::a2_votes(byzscore_bench::Scale::from_env());
+}

@@ -1,0 +1,170 @@
+//! A1–A3: ablations of the reconstruction decisions flagged in DESIGN.md §4.
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_adversary::{Corruption, Inverter};
+use byzscore_bitset::Bits;
+use byzscore_blocks::{small_radius, zero_radius, BlockParams};
+use byzscore_model::{Balance, Workload};
+
+use crate::stats::mean;
+use crate::table::{f2, Table};
+use crate::{experiments::Harness, Scale};
+
+/// **A1** — `Select` reconstruction knobs: batch size (`c_select`) and
+/// elimination margin. Measured on `SmallRadius` accuracy (its heaviest
+/// `Select` consumer).
+pub fn a1_select(scale: Scale) -> Vec<Table> {
+    let n = 128usize;
+    let b = 4usize;
+    let d = 8usize;
+    let trials = scale.pick(2, 5);
+    let c_selects = [1.0, 2.0, 3.0, 5.0];
+    let margins = [0.2, 1.0 / 3.0, 0.5];
+
+    let mut table = Table::new(
+        format!("A1: Select reconstruction ablation — SmallRadius on n={n}, B={b}, D={d}"),
+        &["c_select", "margin", "worst err", "err/D", "max probes"],
+    );
+
+    for &c_select in &c_selects {
+        for &margin in &margins {
+            let mut worst = 0usize;
+            let mut probes = Vec::new();
+            for t in 0..trials {
+                let inst = Workload::PlantedClusters {
+                    players: n,
+                    objects: n,
+                    clusters: b,
+                    diameter: d,
+                    balance: Balance::Even,
+                }
+                .generate(4100 + t as u64);
+                let mut params = BlockParams::with_budget(b);
+                params.c_select = c_select;
+                params.select_margin = margin;
+                let h = Harness::honest(inst.truth(), params, 41 + t as u64);
+                let ctx = h.ctx();
+                let players: Vec<u32> = (0..n as u32).collect();
+                let objects: Vec<u32> = (0..n as u32).collect();
+                let out = small_radius(&ctx, &players, &objects, d, &[t as u64]);
+                for (p, w) in out.iter().enumerate() {
+                    worst = worst.max(w.hamming(&inst.truth().row(p)));
+                }
+                probes.push(h.oracle.ledger().max() as f64);
+            }
+            table.row(vec![
+                f2(c_select),
+                f2(margin),
+                worst.to_string(),
+                f2(worst as f64 / d as f64),
+                f2(mean(&probes)),
+            ]);
+        }
+    }
+    table.print();
+    vec![table]
+}
+
+/// **A2** — `ZeroRadius` vote-threshold denominator (paper: 2) and the
+/// candidate-cap generosity: failure rate under a 10% inverter minority.
+pub fn a2_votes(scale: Scale) -> Vec<Table> {
+    let n = 128usize;
+    let bprime = 4usize;
+    let trials = scale.pick(3, 8);
+    let denoms = [1.0, 2.0, 4.0, 8.0];
+
+    let mut table = Table::new(
+        format!("A2: ZeroRadius vote-threshold ablation — n={n}, B'={bprime}, 10% inverters"),
+        &["zr_vote_denom", "wrong players (mean)", "max probes (mean)"],
+    );
+
+    for &denom in &denoms {
+        let mut wrongs = Vec::new();
+        let mut probes = Vec::new();
+        for t in 0..trials {
+            let inst = Workload::CloneClasses {
+                players: n,
+                objects: n,
+                classes: bprime,
+                balance: Balance::Even,
+            }
+            .generate(4300 + t as u64);
+            let dishonest = Corruption::Count { count: n / 10 }.select(&inst, t as u64);
+            let mut params = BlockParams::with_budget(bprime);
+            params.zr_vote_denom = denom;
+            let h = Harness::adversarial(inst.truth(), dishonest, &Inverter, params, 43 + t as u64);
+            let ctx = h.ctx();
+            let players: Vec<u32> = (0..n as u32).collect();
+            let objects: Vec<u32> = (0..n as u32).collect();
+            let out = zero_radius(&ctx, &players, &objects, bprime, &[t as u64]);
+            let wrong = (0..n)
+                .filter(|&p| {
+                    !h.behaviors.is_dishonest(p as u32) && out[p].hamming(&inst.truth().row(p)) != 0
+                })
+                .count();
+            wrongs.push(wrong as f64);
+            probes.push(
+                h.oracle
+                    .ledger()
+                    .snapshot()
+                    .max_where(&h.behaviors.honest_mask()) as f64,
+            );
+        }
+        table.row(vec![f2(denom), f2(mean(&wrongs)), f2(mean(&probes))]);
+    }
+    table.print();
+    vec![table]
+}
+
+/// **A3** — neighbor-graph edge threshold (`edge_mult`; paper: 22×):
+/// too low shatters clusters, too high merges them; both inflate error.
+pub fn a3_threshold(scale: Scale) -> Vec<Table> {
+    // m = n makes cross-cluster sample distances ≈ m/2 ≈ 96: thresholds
+    // above that merge clusters and the error jumps — the trade-off the
+    // paper's 220 ln n constant hides at asymptotic scale.
+    let n = 192usize;
+    let m = 192usize;
+    let b = 6usize;
+    let d = 16usize;
+    let trials = scale.pick(1, 3);
+    let mults = [1.5, 3.0, 6.0, 12.0, 22.0];
+
+    let mut table = Table::new(
+        format!("A3: edge-threshold ablation — n={n}, m={m}, B={b}, D={d}"),
+        &["edge_mult", "τ", "max err", "mean err", "max honest probes"],
+    );
+
+    for &mult in &mults {
+        let mut max_errs = Vec::new();
+        let mut mean_errs = Vec::new();
+        let mut probes = Vec::new();
+        let mut tau = 0usize;
+        for t in 0..trials {
+            let inst = Workload::PlantedClusters {
+                players: n,
+                objects: m,
+                clusters: b,
+                diameter: d,
+                balance: Balance::Even,
+            }
+            .generate(4500 + t as u64);
+            let mut params = ProtocolParams::with_budget(b);
+            params.edge_mult = mult;
+            tau = params.edge_threshold(n);
+            let out = ScoringSystem::new(&inst, params)
+                .run(Algorithm::CalculatePreferences, 47 + t as u64);
+            max_errs.push(out.errors.max as f64);
+            mean_errs.push(out.errors.mean);
+            probes.push(out.max_honest_probes as f64);
+        }
+        table.row(vec![
+            f2(mult),
+            tau.to_string(),
+            f2(mean(&max_errs)),
+            f2(mean(&mean_errs)),
+            f2(mean(&probes)),
+        ]);
+    }
+    table.print();
+    vec![table]
+}

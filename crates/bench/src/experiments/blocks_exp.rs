@@ -1,0 +1,253 @@
+//! E1–E4: the Figure-1 building-block claims.
+
+use byzscore::sampling::{choose_sample, sample_distances};
+use byzscore_bitset::{BitMatrix, BitVec, Bits};
+use byzscore_blocks::{rselect, small_radius, zero_radius, BlockParams};
+use byzscore_model::{Balance, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::stats::mean;
+use crate::table::{f2, Table};
+use crate::{experiments::Harness, Scale};
+
+/// **E1 / Theorem 3** — `RSelect` returns a candidate within a constant
+/// factor of the best, with `O(k² log n)` probes.
+///
+/// World: one evaluating player, `k` candidates: the best planted at
+/// distance `δ` from the player's truth, the rest at `8δ, 12δ, 16δ, …`.
+pub fn e01_rselect(scale: Scale) -> Vec<Table> {
+    let n = 512usize;
+    let m = 2048usize;
+    let delta = 8usize;
+    let trials = scale.pick(5, 20);
+    let ks = scale.pick(vec![2usize, 4, 8, 16], vec![2, 4, 8, 16, 32]);
+
+    let mut table = Table::new(
+        format!("E1 (Thm 3): RSelect — n={n}, m={m}, best candidate at δ={delta}"),
+        &[
+            "k",
+            "err/δ (mean)",
+            "err/δ (max)",
+            "probes (mean)",
+            "probes/(k²·ln n)",
+        ],
+    );
+
+    let ln_n = (n as f64).ln();
+    for &k in &ks {
+        let mut ratios = Vec::new();
+        let mut probes = Vec::new();
+        for t in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(1000 + t as u64);
+            let truth_row = BitVec::random(&mut rng, m);
+            let mut rows = vec![truth_row.clone()];
+            rows.extend((1..n).map(|_| BitVec::random(&mut rng, m)));
+            let truth = BitMatrix::from_rows(&rows);
+
+            let mut cands = Vec::with_capacity(k);
+            let mut best = truth_row.clone();
+            best.flip_random_distinct(&mut rng, delta);
+            cands.push(best);
+            for j in 1..k {
+                let mut far = truth_row.clone();
+                far.flip_random_distinct(&mut rng, delta * (4 + 4 * j).min(m / delta));
+                cands.push(far);
+            }
+
+            let h = Harness::honest(&truth, BlockParams::with_budget(8), 77 + t as u64);
+            let ctx = h.ctx();
+            let objects: Vec<u32> = (0..m as u32).collect();
+            let mut prng = SmallRng::seed_from_u64(9 + t as u64);
+            let won = rselect(&ctx, 0, &cands, &objects, &mut prng);
+            let err = cands[won].hamming(&truth_row);
+            ratios.push(err as f64 / delta as f64);
+            probes.push(h.oracle.ledger().count(0) as f64);
+        }
+        table.row(vec![
+            k.to_string(),
+            f2(mean(&ratios)),
+            f2(ratios.iter().copied().fold(0.0, f64::max)),
+            f2(mean(&probes)),
+            f2(mean(&probes) / ((k * k) as f64 * ln_n)),
+        ]);
+    }
+    table.print();
+    vec![table]
+}
+
+/// **E2 / Theorem 4** — `ZeroRadius` recovers exact clone classes with
+/// `O(B' log n)` probes; scaling sweep over `n`.
+pub fn e02_zero_radius(scale: Scale) -> Vec<Table> {
+    let bprime = 4usize;
+    let ns = scale.pick(vec![128usize, 256, 512], vec![128, 256, 512, 1024, 2048]);
+    let trials = scale.pick(2, 5);
+
+    let mut table = Table::new(
+        format!("E2 (Thm 4): ZeroRadius — B'={bprime}, clone classes"),
+        &[
+            "n",
+            "wrong players",
+            "max probes",
+            "max/(B'·ln²n)",
+            "total probes",
+        ],
+    );
+
+    for &n in &ns {
+        let mut wrongs = 0usize;
+        let mut max_probes = Vec::new();
+        let mut totals = Vec::new();
+        for t in 0..trials {
+            let inst = Workload::CloneClasses {
+                players: n,
+                objects: n,
+                classes: bprime,
+                balance: Balance::Even,
+            }
+            .generate(50 + t as u64);
+            let h = Harness::honest(inst.truth(), BlockParams::with_budget(bprime), t as u64);
+            let ctx = h.ctx();
+            let players: Vec<u32> = (0..n as u32).collect();
+            let objects: Vec<u32> = (0..n as u32).collect();
+            let out = zero_radius(&ctx, &players, &objects, bprime, &[t as u64]);
+            wrongs += (0..n)
+                .filter(|&p| out[p].hamming(&inst.truth().row(p)) != 0)
+                .count();
+            max_probes.push(h.oracle.ledger().max() as f64);
+            totals.push(h.oracle.ledger().total() as f64);
+        }
+        let ln2 = (n as f64).ln().powi(2);
+        table.row(vec![
+            n.to_string(),
+            wrongs.to_string(),
+            f2(mean(&max_probes)),
+            f2(mean(&max_probes) / (bprime as f64 * ln2)),
+            f2(mean(&totals)),
+        ]);
+    }
+    table.print();
+    vec![table]
+}
+
+/// **E3 / Theorem 5** — `SmallRadius` error ≤ 5D with
+/// `O(B·log n·D^{3/2}(D+log n))` probes; sweep over `D`.
+pub fn e03_small_radius(scale: Scale) -> Vec<Table> {
+    let n = 256usize;
+    let b = 4usize;
+    let ds = scale.pick(vec![2usize, 4, 8, 16], vec![2, 4, 8, 16, 32]);
+    let trials = scale.pick(2, 5);
+
+    let mut table = Table::new(
+        format!("E3 (Thm 5): SmallRadius — n={n}, B={b}"),
+        &[
+            "D",
+            "worst err",
+            "err/D",
+            "5D bound",
+            "max probes",
+            "probes/bound",
+        ],
+    );
+
+    let ln_n = (n as f64).ln();
+    for &d in &ds {
+        let mut worst = 0usize;
+        let mut probes = Vec::new();
+        for t in 0..trials {
+            let inst = Workload::PlantedClusters {
+                players: n,
+                objects: n,
+                clusters: b,
+                diameter: d,
+                balance: Balance::Even,
+            }
+            .generate(80 + t as u64);
+            let h = Harness::honest(inst.truth(), BlockParams::with_budget(b), 5 + t as u64);
+            let ctx = h.ctx();
+            let players: Vec<u32> = (0..n as u32).collect();
+            let objects: Vec<u32> = (0..n as u32).collect();
+            let out = small_radius(&ctx, &players, &objects, d, &[t as u64]);
+            for (p, w) in out.iter().enumerate() {
+                worst = worst.max(w.hamming(&inst.truth().row(p)));
+            }
+            probes.push(h.oracle.ledger().max() as f64);
+        }
+        let theorem_bound = b as f64 * ln_n * (d as f64).powf(1.5).max(1.0) * (d as f64 + ln_n);
+        table.row(vec![
+            d.to_string(),
+            worst.to_string(),
+            f2(worst as f64 / d.max(1) as f64),
+            (5 * d).to_string(),
+            f2(mean(&probes)),
+            f2(mean(&probes) / theorem_bound),
+        ]);
+    }
+    table.print();
+    vec![table]
+}
+
+/// **E4 / Lemma 6** — sample-set distance separation: close pairs
+/// (distance ≤ D) vs far pairs (distance ≥ 3D) on a rate-`c·ln n/D`
+/// sample.
+pub fn e04_sample_concentration(scale: Scale) -> Vec<Table> {
+    let n = 512usize;
+    let c_sample = 4.0;
+    let ds = scale.pick(vec![16usize, 32, 64], vec![8, 16, 32, 64, 128]);
+    let trials = scale.pick(3, 10);
+
+    let mut table = Table::new(
+        format!("E4 (Lemma 6): sample separation — n={n}, rate {c_sample}·ln n/D"),
+        &["D", "|S| (mean)", "close max", "far min", "separated runs"],
+    );
+
+    for &d in &ds {
+        let mut sizes = Vec::new();
+        let mut close_max = 0usize;
+        let mut far_min = usize::MAX;
+        let mut separated = 0usize;
+        for t in 0..trials {
+            let inst = Workload::PlantedClusters {
+                players: n,
+                objects: n,
+                clusters: 8,
+                diameter: d,
+                balance: Balance::Even,
+            }
+            .generate(500 + t as u64);
+            let beacon = byzscore_random::Beacon::honest(700 + t as u64);
+            let sample = choose_sample(&beacon, n, n, d, c_sample);
+            sizes.push(sample.len() as f64);
+            let planted = inst.planted().unwrap();
+            let close: Vec<(u32, u32)> = planted.clusters[0]
+                .windows(2)
+                .map(|w| (w[0], w[1]))
+                .take(30)
+                .collect();
+            let far: Vec<(u32, u32)> = planted.clusters[0]
+                .iter()
+                .zip(&planted.clusters[1])
+                .map(|(&a, &b)| (a, b))
+                .take(30)
+                .collect();
+            let cd = sample_distances(inst.truth(), &sample, &close);
+            let fd = sample_distances(inst.truth(), &sample, &far);
+            let cmax = cd.iter().copied().max().unwrap_or(0);
+            let fmin = fd.iter().copied().min().unwrap_or(usize::MAX);
+            close_max = close_max.max(cmax);
+            far_min = far_min.min(fmin);
+            if cmax < fmin {
+                separated += 1;
+            }
+        }
+        table.row(vec![
+            d.to_string(),
+            f2(mean(&sizes)),
+            close_max.to_string(),
+            far_min.to_string(),
+            format!("{separated}/{trials}"),
+        ]);
+    }
+    table.print();
+    vec![table]
+}

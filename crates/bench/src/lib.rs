@@ -1,0 +1,47 @@
+//! Experiment harness for the byzscore reproduction.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of quantitative
+//! claims (theorems, lemmas, the Claim-2 lower bound, and the §1 comparison
+//! with prior art). Each claim has one experiment here — see DESIGN.md §5
+//! for the index — and each experiment is exposed both as a library
+//! function (so `run_all` can regenerate every table in one go) and as its
+//! own binary (`cargo run -p byzscore-bench --release --bin e07_error_vs_d`).
+//!
+//! Scale: experiments default to a quick preset that finishes in seconds to
+//! a few minutes each; set `BYZ_FULL=1` for the larger sweeps recorded in
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+/// Experiment scale, selected by the `BYZ_FULL` environment variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Seconds-scale smoke sizes.
+    Quick,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the environment (`BYZ_FULL=1` ⇒ `Full`).
+    pub fn from_env() -> Scale {
+        if std::env::var("BYZ_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Pick `q` under Quick and `f` under Full.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-column vote accumulation and majority extraction.
+
+use crate::{BitVec, Bits};
+
+/// Accumulates weighted per-column votes over bit vectors and extracts the
+/// majority vector.
+///
+/// This is the kernel behind step 4 of `CalculatePreferences` ("sets its
+/// output to the value probed by a *majority* of the assigned players") and
+/// the popular-vector tallies in `ZeroRadius`/`SmallRadius`. A column's vote
+/// balance is `(#one-votes) − (#zero-votes)`, kept as `i32` per column.
+pub struct ColumnCounter {
+    balance: Vec<i32>,
+    total_weight: i64,
+}
+
+impl ColumnCounter {
+    /// New counter over `len` columns with zero balance.
+    pub fn new(len: usize) -> Self {
+        ColumnCounter {
+            balance: vec![0; len],
+            total_weight: 0,
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.balance.len()
+    }
+
+    /// True if the counter tracks no columns.
+    pub fn is_empty(&self) -> bool {
+        self.balance.is_empty()
+    }
+
+    /// Total weight added so far.
+    pub fn total_weight(&self) -> i64 {
+        self.total_weight
+    }
+
+    /// Add `weight` votes of vector `v`: each 1-bit adds `+weight` to its
+    /// column balance, each 0-bit adds `−weight`.
+    pub fn add<B: Bits + ?Sized>(&mut self, v: &B, weight: i32) {
+        assert_eq!(v.len(), self.balance.len(), "vector length mismatch");
+        // Subtract weight everywhere, then add 2*weight at set bits:
+        // equivalent, but touches each balance once plus popcount adds.
+        for b in self.balance.iter_mut() {
+            *b -= weight;
+        }
+        for i in v.iter_ones() {
+            self.balance[i] += 2 * weight;
+        }
+        self.total_weight += i64::from(weight);
+    }
+
+    /// Add a single vote at one column.
+    pub fn add_bit(&mut self, column: usize, value: bool, weight: i32) {
+        let delta = if value { weight } else { -weight };
+        self.balance[column] += delta;
+    }
+
+    /// Majority vector: bit `i` is 1 iff its balance is positive.
+    /// Ties (balance 0) resolve to `tie_value`.
+    pub fn majority(&self, tie_value: bool) -> BitVec {
+        BitVec::from_fn(self.balance.len(), |i| match self.balance[i].cmp(&0) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => tie_value,
+        })
+    }
+
+    /// Column balance (ones minus zeros, weighted).
+    pub fn balance(&self, column: usize) -> i32 {
+        self.balance[column]
+    }
+
+    /// Columns whose absolute balance is at most `margin` — the "contested"
+    /// objects an adversary can swing (Lemma 13's *strange* objects).
+    pub fn contested(&self, margin: i32) -> Vec<u32> {
+        self.balance
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b.abs() <= margin)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Reset all balances to zero, keeping the column count.
+    pub fn reset(&mut self) {
+        self.balance.iter_mut().for_each(|b| *b = 0);
+        self.total_weight = 0;
+    }
+}
+
+/// Majority-fold a non-empty collection of equal-length vectors:
+/// bit `i` of the result is the majority of bit `i` across `vs`
+/// (ties resolve to `tie_value`).
+pub fn majority_fold<B: Bits>(vs: &[B], tie_value: bool) -> BitVec {
+    assert!(!vs.is_empty(), "majority_fold of empty slice");
+    let mut c = ColumnCounter::new(vs[0].len());
+    for v in vs {
+        c.add(v, 1);
+    }
+    c.majority(tie_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_majority() {
+        let vs = vec![
+            BitVec::from_bools(&[true, true, false]),
+            BitVec::from_bools(&[true, false, false]),
+            BitVec::from_bools(&[false, true, false]),
+        ];
+        let m = majority_fold(&vs, false);
+        assert!(m.bits_eq(&BitVec::from_bools(&[true, true, false])));
+    }
+
+    #[test]
+    fn tie_resolution() {
+        let vs = vec![
+            BitVec::from_bools(&[true, false]),
+            BitVec::from_bools(&[false, true]),
+        ];
+        assert!(majority_fold(&vs, true).bits_eq(&BitVec::from_bools(&[true, true])));
+        assert!(majority_fold(&vs, false).bits_eq(&BitVec::from_bools(&[false, false])));
+    }
+
+    #[test]
+    fn weighted_votes() {
+        let mut c = ColumnCounter::new(2);
+        c.add(&BitVec::from_bools(&[true, true]), 1);
+        c.add(&BitVec::from_bools(&[false, false]), 3);
+        assert!(c
+            .majority(false)
+            .bits_eq(&BitVec::from_bools(&[false, false])));
+        assert_eq!(c.total_weight(), 4);
+        assert_eq!(c.balance(0), -2);
+    }
+
+    #[test]
+    fn add_bit_votes() {
+        let mut c = ColumnCounter::new(3);
+        c.add_bit(1, true, 2);
+        c.add_bit(1, false, 1);
+        c.add_bit(2, false, 1);
+        let m = c.majority(false);
+        assert!(!m.get(0));
+        assert!(m.get(1));
+        assert!(!m.get(2));
+    }
+
+    #[test]
+    fn contested_columns() {
+        let mut c = ColumnCounter::new(3);
+        c.add(&BitVec::from_bools(&[true, true, false]), 5);
+        c.add(&BitVec::from_bools(&[true, false, false]), 4);
+        // balances: +9, +1, −9
+        assert_eq!(c.contested(1), vec![1]);
+        assert_eq!(c.contested(9), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = ColumnCounter::new(2);
+        c.add(&BitVec::from_bools(&[true, true]), 7);
+        c.reset();
+        assert_eq!(c.total_weight(), 0);
+        assert_eq!(c.balance(0), 0);
+        assert_eq!(c.balance(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn majority_fold_empty_panics() {
+        majority_fold::<BitVec>(&[], false);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_majority_matches_naive(seed in 0u64..200, n_vecs in 1usize..9, len in 1usize..120) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let vs: Vec<BitVec> = (0..n_vecs).map(|_| BitVec::random(&mut rng, len)).collect();
+            let m = majority_fold(&vs, false);
+            for i in 0..len {
+                let ones = vs.iter().filter(|v| v.get(i)).count();
+                let expect = 2 * ones > n_vecs;
+                prop_assert_eq!(m.get(i), expect, "column {}", i);
+            }
+        }
+
+        #[test]
+        fn prop_unanimous_is_identity(seed in 0u64..200, copies in 1usize..6, len in 1usize..120) {
+            let v = BitVec::random(&mut SmallRng::seed_from_u64(seed), len);
+            let vs = vec![v.clone(); copies];
+            prop_assert!(majority_fold(&vs, false).bits_eq(&v));
+        }
+    }
+}

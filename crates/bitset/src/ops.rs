@@ -1,0 +1,76 @@
+//! Multi-vector kernels.
+
+use crate::{Bits, WORD_BITS};
+
+/// Positions where the given equal-length vectors do **not** all agree,
+/// in increasing order.
+///
+/// This is the disagreement set `C` of `ZeroRadius` step 4 ("the set of
+/// objects for which there are different votes") and the probing frontier
+/// of `Select`: computed as an OR-fold of XORs against the first vector, so
+/// it costs one pass of word ops regardless of how many vectors there are.
+pub fn disagreement_indices<B: Bits>(vs: &[B]) -> Vec<u32> {
+    let Some(first) = vs.first() else {
+        return Vec::new();
+    };
+    let words0 = first.words();
+    let mut out = Vec::new();
+    for (wi, &w0) in words0.iter().enumerate() {
+        let mut diff = 0u64;
+        for v in &vs[1..] {
+            diff |= v.words()[wi] ^ w0;
+        }
+        while diff != 0 {
+            let bit = diff.trailing_zeros() as usize;
+            out.push((wi * WORD_BITS + bit) as u32);
+            diff &= diff - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitVec;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(disagreement_indices::<BitVec>(&[]).is_empty());
+        let v = BitVec::from_bools(&[true, false]);
+        assert!(disagreement_indices(&[v]).is_empty());
+    }
+
+    #[test]
+    fn identical_vectors_agree() {
+        let v = BitVec::from_bools(&[true, false, true]);
+        assert!(disagreement_indices(&[v.clone(), v.clone(), v]).is_empty());
+    }
+
+    #[test]
+    fn three_way_disagreement() {
+        let a = BitVec::from_bools(&[true, false, false, true]);
+        let b = BitVec::from_bools(&[true, true, false, true]);
+        let c = BitVec::from_bools(&[true, false, true, true]);
+        assert_eq!(disagreement_indices(&[a, b, c]), vec![1, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(seed in 0u64..100, k in 2usize..6, len in 1usize..200) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let vs: Vec<BitVec> = (0..k).map(|_| BitVec::random(&mut rng, len)).collect();
+            let fast = disagreement_indices(&vs);
+            let naive: Vec<u32> = (0..len as u32)
+                .filter(|&i| {
+                    let b0 = vs[0].get(i as usize);
+                    vs[1..].iter().any(|v| v.get(i as usize) != b0)
+                })
+                .collect();
+            prop_assert_eq!(fast, naive);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Candidate-selection tournaments: `RSelect` (Figure 1) and the
+//! reconstructed `Select`.
+
+use byzscore_bitset::{disagreement_indices, BitVec, Bits};
+use byzscore_random::choose_k;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::Ctx;
+
+/// `RSelect(w₁, …, w_k)_p` — Figure 1, top block (Theorem 3).
+///
+/// For every pair of surviving candidates, probe `Θ(log n)` random objects
+/// on which they differ; a candidate that agrees with at least 2/3 of the
+/// probed objects eliminates its opponent. Any survivor is returned (its
+/// index into `candidates`).
+///
+/// `objects[i]` maps candidate coordinate `i` to a global object id, so the
+/// same routine serves full-length candidates (`objects = 0..n`) and
+/// sample-restricted candidates. Probes are charged to `player`.
+///
+/// Guarantee (Theorem 3): with high probability the output `w` satisfies
+/// `|v(p) − w| ≤ O(|v(p) − w*|)` for the best candidate `w*`, using
+/// `O(k² log n)` probes.
+pub fn rselect(
+    ctx: &Ctx<'_>,
+    player: u32,
+    candidates: &[BitVec],
+    objects: &[u32],
+    rng: &mut SmallRng,
+) -> usize {
+    assert!(
+        !candidates.is_empty(),
+        "rselect needs at least one candidate"
+    );
+    let sample = (ctx.params.c_rselect * ctx.ln_n()).ceil() as usize;
+    let threshold = ctx.params.rselect_threshold;
+    let k = candidates.len();
+    let mut alive = vec![true; k];
+
+    for i in 0..k {
+        if !alive[i] {
+            continue;
+        }
+        for j in (i + 1)..k {
+            if !alive[j] || !alive[i] {
+                break;
+            }
+            let diff = candidates[i].diff_indices(&candidates[j]);
+            if diff.is_empty() {
+                alive[j] = false; // exact duplicate
+                continue;
+            }
+            let t = sample.min(diff.len()).max(1);
+            let picks = choose_k(rng, diff.len(), t);
+            let mut agree_i = 0usize;
+            for &x in &picks {
+                let coord = diff[x as usize] as usize;
+                let truth = ctx.oracle.probe(player, objects[coord]);
+                if candidates[i].get(coord) == truth {
+                    agree_i += 1;
+                }
+            }
+            let agree_j = t - agree_i; // complementary on the diff set
+            if agree_i as f64 >= threshold * t as f64 {
+                alive[j] = false;
+            } else if agree_j as f64 >= threshold * t as f64 {
+                alive[i] = false;
+            }
+            // Otherwise both survive this pairing (the paper keeps both).
+        }
+    }
+
+    alive
+        .iter()
+        .position(|&a| a)
+        .expect("at least one candidate survives")
+}
+
+/// `Select(V, D)_p` — the deterministic tournament Figure 1 references but
+/// does not spell out. Reconstruction (DESIGN.md §4.2): *batched
+/// score-and-eliminate*, linear in `|V|`:
+///
+/// 1. While more than one candidate survives, compute the disagreement set
+///    of the survivors and probe a batch of `ceil(c_select · ln n)` objects
+///    from it (seeded deterministically from `rng`).
+/// 2. Score every survivor by agreement with the probed truth; drop all
+///    candidates scoring more than `select_margin · batch` below the best,
+///    and at minimum the single worst (progress guarantee).
+///
+/// The margin keeps the within-`D` candidate alive (it loses at most its
+/// distance in expectation) while far candidates lose quickly; total probes
+/// are `O(|V| · log n)` — linear, as Theorem 5's probe accounting needs.
+/// Returns the index of the selected candidate in `candidates`.
+pub fn select_among(
+    ctx: &Ctx<'_>,
+    player: u32,
+    candidates: &[BitVec],
+    objects: &[u32],
+    rng: &mut SmallRng,
+) -> usize {
+    assert!(
+        !candidates.is_empty(),
+        "select needs at least one candidate"
+    );
+    let batch = (ctx.params.c_select * ctx.ln_n()).ceil() as usize;
+    let margin = ctx.params.select_margin;
+
+    // Dedup identical candidates first: votes produce many duplicates and
+    // k² duplicate pairings would waste probes.
+    let mut reps: Vec<usize> = Vec::new();
+    'outer: for (i, c) in candidates.iter().enumerate() {
+        for &r in &reps {
+            if candidates[r].bits_eq(c) {
+                continue 'outer;
+            }
+        }
+        reps.push(i);
+    }
+
+    let mut cumulative: Vec<i64> = vec![0; reps.len()];
+    let mut alive: Vec<usize> = (0..reps.len()).collect();
+
+    while alive.len() > 1 {
+        let views: Vec<&BitVec> = alive.iter().map(|&a| &candidates[reps[a]]).collect();
+        let disputed = disagreement_indices(&views);
+        if disputed.is_empty() {
+            break;
+        }
+        let t = batch.min(disputed.len()).max(1);
+        let mut picks = disputed;
+        picks.shuffle(rng);
+        picks.truncate(t);
+
+        let mut scores: Vec<usize> = vec![0; alive.len()];
+        for &coord in &picks {
+            let truth = ctx.oracle.probe(player, objects[coord as usize]);
+            for (s, &a) in scores.iter_mut().zip(&alive) {
+                if candidates[reps[a]].get(coord as usize) == truth {
+                    *s += 1;
+                }
+            }
+        }
+        for (&a, &s) in alive.iter().zip(&scores) {
+            cumulative[a] += s as i64;
+        }
+
+        let best = *scores.iter().max().expect("non-empty");
+        let cut = best.saturating_sub((margin * t as f64).ceil() as usize);
+        let before = alive.len();
+        let survivors: Vec<usize> = alive
+            .iter()
+            .zip(&scores)
+            .filter(|&(_, &s)| s >= cut)
+            .map(|(&a, _)| a)
+            .collect();
+        alive = if survivors.len() < before {
+            survivors
+        } else {
+            // No clear loser: drop the single worst (ties: latest index) so
+            // the loop always progresses.
+            let worst_pos = scores
+                .iter()
+                .enumerate()
+                .min_by_key(|&(pos, &s)| (s, std::cmp::Reverse(pos)))
+                .map(|(pos, _)| pos)
+                .expect("non-empty");
+            alive
+                .iter()
+                .enumerate()
+                .filter(|&(pos, _)| pos != worst_pos)
+                .map(|(_, &a)| a)
+                .collect()
+        };
+    }
+
+    let winner = alive
+        .into_iter()
+        .max_by_key(|&a| cumulative[a])
+        .expect("one candidate remains");
+    reps[winner]
+}
+
+/// Convenience: run [`select_among`] and clone out the winning vector.
+pub fn select_vector(
+    ctx: &Ctx<'_>,
+    player: u32,
+    candidates: &[BitVec],
+    objects: &[u32],
+    rng: &mut SmallRng,
+) -> BitVec {
+    candidates[select_among(ctx, player, candidates, objects, rng)].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockParams;
+    use byzscore_adversary::Behaviors;
+    use byzscore_bitset::BitMatrix;
+    use byzscore_board::{Board, Oracle};
+    use byzscore_random::Beacon;
+    use rand::SeedableRng;
+
+    /// Build a 1-player world whose truth row is `truth`, plus harness.
+    fn world(truth: BitVec) -> (BitMatrix, BlockParams) {
+        (BitMatrix::from_rows(&[truth]), BlockParams::default())
+    }
+
+    fn all_objects(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn rselect_picks_exact_match() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let truth = BitVec::random(&mut rng, 256);
+        let mut far = truth.clone();
+        far.flip_random_distinct(&mut rng, 120);
+        let mut near = truth.clone();
+        near.flip_random_distinct(&mut rng, 2);
+        let (m, params) = world(truth.clone());
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let cands = vec![far, truth.clone(), near];
+        let mut prng = SmallRng::seed_from_u64(9);
+        let won = rselect(&ctx, 0, &cands, &all_objects(256), &mut prng);
+        let d = cands[won].hamming(&truth);
+        assert!(d <= 2, "rselect picked a candidate at distance {d}");
+    }
+
+    #[test]
+    fn rselect_single_candidate_costs_nothing() {
+        let (m, params) = world(BitVec::zeros(16));
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let mut prng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            rselect(&ctx, 0, &[BitVec::ones(16)], &all_objects(16), &mut prng),
+            0
+        );
+        assert_eq!(oracle.ledger().total(), 0);
+    }
+
+    #[test]
+    fn rselect_dedups_duplicates_free() {
+        let (m, params) = world(BitVec::zeros(64));
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let mut prng = SmallRng::seed_from_u64(2);
+        let c = BitVec::zeros(64);
+        let won = rselect(
+            &ctx,
+            0,
+            &[c.clone(), c.clone(), c],
+            &all_objects(64),
+            &mut prng,
+        );
+        assert_eq!(won, 0);
+        assert_eq!(
+            oracle.ledger().total(),
+            0,
+            "duplicates eliminated without probes"
+        );
+    }
+
+    #[test]
+    fn rselect_probe_complexity_quadratic_logn() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let truth = BitVec::random(&mut rng, 512);
+        let (m, params) = world(truth.clone());
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let k = 8;
+        let cands: Vec<BitVec> = (0..k)
+            .map(|i| {
+                let mut v = truth.clone();
+                v.flip_random_distinct(&mut rng, 10 * i);
+                v
+            })
+            .collect();
+        let mut prng = SmallRng::seed_from_u64(3);
+        rselect(&ctx, 0, &cands, &all_objects(512), &mut prng);
+        let bound = (k * k) as u64 * (ctx.params.c_rselect * ctx.ln_n()).ceil() as u64;
+        assert!(
+            oracle.ledger().total() <= bound,
+            "probes {} exceed k²·sample {}",
+            oracle.ledger().total(),
+            bound
+        );
+    }
+
+    #[test]
+    fn select_picks_close_candidate() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let truth = BitVec::random(&mut rng, 400);
+        let (m, params) = world(truth.clone());
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let mut cands: Vec<BitVec> = (0..12)
+            .map(|_| {
+                let mut v = truth.clone();
+                v.flip_random_distinct(&mut rng, 150);
+                v
+            })
+            .collect();
+        let mut near = truth.clone();
+        near.flip_random_distinct(&mut rng, 4);
+        cands.push(near);
+        let mut prng = SmallRng::seed_from_u64(4);
+        let won = select_among(&ctx, 0, &cands, &all_objects(400), &mut prng);
+        let d = cands[won].hamming(&truth);
+        assert!(d <= 30, "select picked distance {d}");
+    }
+
+    #[test]
+    fn select_linear_probe_cost() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let truth = BitVec::random(&mut rng, 600);
+        let (m, params) = world(truth.clone());
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let k = 20;
+        let cands: Vec<BitVec> = (0..k)
+            .map(|_| {
+                let mut v = truth.clone();
+                v.flip_random_distinct(&mut rng, 60);
+                v
+            })
+            .collect();
+        let mut prng = SmallRng::seed_from_u64(5);
+        select_among(&ctx, 0, &cands, &all_objects(600), &mut prng);
+        // Each round drops ≥ 1 candidate, so ≤ (k−1) batches.
+        let bound = (k as u64) * (ctx.params.c_select * ctx.ln_n()).ceil() as u64;
+        assert!(
+            oracle.ledger().total() <= bound,
+            "probes {} exceed linear bound {}",
+            oracle.ledger().total(),
+            bound
+        );
+    }
+
+    #[test]
+    fn select_vector_returns_winner() {
+        let (m, params) = world(BitVec::ones(32));
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let mut prng = SmallRng::seed_from_u64(6);
+        let won = select_vector(
+            &ctx,
+            0,
+            &[BitVec::zeros(32), BitVec::ones(32)],
+            &all_objects(32),
+            &mut prng,
+        );
+        assert_eq!(won.count_ones(), 32);
+    }
+
+    #[test]
+    fn select_on_restricted_objects_probes_globally() {
+        // Candidates over a 3-object subset {5, 9, 20} of a 32-object world.
+        let mut truth = BitVec::zeros(32);
+        truth.set(9, true);
+        let (m, params) = world(truth);
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let objects = vec![5u32, 9, 20];
+        let good = BitVec::from_bools(&[false, true, false]);
+        let bad = BitVec::from_bools(&[true, false, true]);
+        let mut prng = SmallRng::seed_from_u64(8);
+        let won = select_among(&ctx, 0, &[bad, good.clone()], &objects, &mut prng);
+        assert_eq!(won, 1);
+    }
+}

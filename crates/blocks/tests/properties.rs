@@ -1,0 +1,121 @@
+//! Property-based invariants of the Figure-1 building blocks.
+
+use byzscore_adversary::Behaviors;
+use byzscore_bitset::{BitMatrix, BitVec, Bits};
+use byzscore_blocks::{
+    rselect, select_among, zero_radius, BlockParams, Ctx, VoteTally,
+};
+use byzscore_board::{Board, Oracle};
+use byzscore_random::Beacon;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `RSelect` always returns a valid index, never probes more than
+    /// `k²·sample` objects, and never returns a candidate wildly worse than
+    /// the best when the gap is decisive.
+    #[test]
+    fn rselect_is_total_and_bounded(seed in 0u64..500, k in 1usize..7, m in 64usize..300) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let truth_row = BitVec::random(&mut rng, m);
+        // 64-row world so ln n gives realistic sample sizes; only row 0 is probed.
+        let mut rows = vec![truth_row.clone()];
+        rows.extend((1..64).map(|_| BitVec::random(&mut rng, m)));
+        let truth = BitMatrix::from_rows(&rows);
+        let oracle = Oracle::new(&truth);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&truth);
+        let params = BlockParams::default();
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(seed), &params);
+        let cands: Vec<BitVec> = (0..k).map(|_| BitVec::random(&mut rng, m)).collect();
+        let objects: Vec<u32> = (0..m as u32).collect();
+        let mut prng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+        let won = rselect(&ctx, 0, &cands, &objects, &mut prng);
+        prop_assert!(won < k);
+        let bound = (k * k) as u64
+            * (params.c_rselect * (truth.rows().max(2) as f64).ln()).ceil().max(1.0) as u64
+            + (k * k) as u64;
+        prop_assert!(oracle.ledger().count(0) <= bound.max(m as u64));
+    }
+
+    /// `Select` returns a valid index and, when one candidate is the exact
+    /// truth and the rest are far, picks something close.
+    #[test]
+    fn select_finds_exact_match(seed in 0u64..500, k in 1usize..7, m in 96usize..300) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(17));
+        let truth_row = BitVec::random(&mut rng, m);
+        // 64-row world so ln n gives realistic sample sizes; only row 0 is probed.
+        let mut rows = vec![truth_row.clone()];
+        rows.extend((1..64).map(|_| BitVec::random(&mut rng, m)));
+        let truth = BitMatrix::from_rows(&rows);
+        let oracle = Oracle::new(&truth);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&truth);
+        let params = BlockParams::default();
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(seed), &params);
+        let mut cands: Vec<BitVec> = (0..k)
+            .map(|_| {
+                let mut v = truth_row.clone();
+                v.flip_random_distinct(&mut rng, m / 2);
+                v
+            })
+            .collect();
+        cands.push(truth_row.clone());
+        let objects: Vec<u32> = (0..m as u32).collect();
+        let mut prng = SmallRng::seed_from_u64(seed ^ 0x1234);
+        let won = select_among(&ctx, 0, &cands, &objects, &mut prng);
+        prop_assert!(won < cands.len());
+        let d = cands[won].hamming(&truth_row);
+        // The exact-match candidate survives every batch; anything chosen
+        // over it must have scored equally on all probed coordinates.
+        prop_assert!(d <= m / 4, "picked distance {d} of {m}");
+    }
+
+    /// `ZeroRadius` is total on arbitrary player/object subsets: outputs
+    /// align with the player list, have the object-list length, and land on
+    /// the board.
+    #[test]
+    fn zero_radius_shape_invariants(
+        seed in 0u64..300,
+        players_len in 1usize..40,
+        objects_len in 0usize..60,
+        bprime in 1usize..5,
+    ) {
+        let n = 48usize;
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(91));
+        let truth = BitMatrix::random(&mut rng, n, 64);
+        let oracle = Oracle::new(&truth);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&truth);
+        let params = BlockParams::with_budget(bprime);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(seed), &params);
+        let players: Vec<u32> = (0..players_len.min(n) as u32).collect();
+        let objects: Vec<u32> = (0..objects_len.min(64) as u32).collect();
+        let out = zero_radius(&ctx, &players, &objects, bprime, &[seed]);
+        prop_assert_eq!(out.len(), players.len());
+        for v in &out {
+            prop_assert_eq!(v.len(), objects.len());
+        }
+    }
+
+    /// Vote tallies: counts sum to the number of votes; entries are
+    /// distinct; order is by descending support.
+    #[test]
+    fn vote_tally_invariants(seed in 0u64..500, votes_n in 0usize..40, len in 1usize..32) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(7));
+        // Low-entropy vectors so duplicates actually occur.
+        let pool: Vec<BitVec> = (0..4).map(|_| BitVec::random(&mut rng, len)).collect();
+        let votes: Vec<BitVec> = (0..votes_n)
+            .map(|i| pool[(seed as usize + i) % pool.len()].clone())
+            .collect();
+        let tally = VoteTally::tally(votes.iter());
+        prop_assert_eq!(tally.total_votes(), votes_n);
+        for w in tally.entries.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "entries not sorted by support");
+            prop_assert!(!w[0].0.bits_eq(&w[1].0), "duplicate entry");
+        }
+    }
+}

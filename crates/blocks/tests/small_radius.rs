@@ -1,0 +1,172 @@
+//! Behavioural tests for `SmallRadius` (Theorem 5): error `O(D)` under the
+//! small-diameter cluster assumption, honest and Byzantine.
+
+use byzscore_adversary::{Behaviors, ClusterHijacker, Corruption, Inverter, RandomLiar};
+use byzscore_bitset::Bits;
+use byzscore_blocks::{small_radius, BlockParams, Ctx};
+use byzscore_board::{Board, Oracle};
+use byzscore_model::{Balance, Instance, Workload};
+use byzscore_random::Beacon;
+
+fn planted(
+    players: usize,
+    objects: usize,
+    clusters: usize,
+    diameter: usize,
+    seed: u64,
+) -> Instance {
+    Workload::PlantedClusters {
+        players,
+        objects,
+        clusters,
+        diameter,
+        balance: Balance::Even,
+    }
+    .generate(seed)
+}
+
+fn run_small_radius(
+    inst: &Instance,
+    behaviors: &Behaviors<'_>,
+    budget: usize,
+    diameter: usize,
+    seed: u64,
+) -> (Vec<byzscore_bitset::BitVec>, u64) {
+    let oracle = Oracle::new(inst.truth());
+    let board = Board::new();
+    let params = BlockParams::with_budget(budget);
+    let ctx = Ctx::new(&oracle, &board, behaviors, Beacon::honest(seed), &params);
+    let players: Vec<u32> = (0..inst.players() as u32).collect();
+    let objects: Vec<u32> = (0..inst.objects() as u32).collect();
+    let out = small_radius(&ctx, &players, &objects, diameter, &[42]);
+    let max_honest = oracle.snapshot().max_where(&behaviors.honest_mask());
+    (out, max_honest)
+}
+
+#[test]
+fn honest_error_is_order_d() {
+    let d = 8;
+    let inst = planted(128, 256, 4, d, 3);
+    let behaviors = Behaviors::all_honest(inst.truth());
+    let (out, _) = run_small_radius(&inst, &behaviors, 4, d, 7);
+    let mut worst = 0;
+    for (p, w) in out.iter().enumerate() {
+        worst = worst.max(w.hamming(&inst.truth().row(p)));
+    }
+    // Theorem 5 promises ≤ 5D; allow the full constant.
+    assert!(worst <= 5 * d, "worst error {worst} > 5D = {}", 5 * d);
+}
+
+#[test]
+fn zero_diameter_degenerates_to_exact() {
+    let inst = planted(96, 96, 3, 0, 5);
+    let behaviors = Behaviors::all_honest(inst.truth());
+    let (out, _) = run_small_radius(&inst, &behaviors, 3, 0, 11);
+    for (p, w) in out.iter().enumerate() {
+        assert_eq!(
+            w.hamming(&inst.truth().row(p)),
+            0,
+            "player {p} wrong in clone regime"
+        );
+    }
+}
+
+#[test]
+fn probes_stay_polylog_per_player() {
+    let d = 6;
+    let inst = planted(256, 256, 8, d, 9);
+    let behaviors = Behaviors::all_honest(inst.truth());
+    let (_, max_probes) = run_small_radius(&inst, &behaviors, 8, d, 13);
+    // Theorem 5: O(B log n · D^{3/2} (D + log n)). Evaluate the bound with
+    // generous constant 4.
+    let ln_n = (256f64).ln();
+    let bound = 4.0 * 8.0 * ln_n * (d as f64).powf(1.5).max(1.0) * (d as f64 + ln_n);
+    assert!(
+        (max_probes as f64) < bound,
+        "max probes {max_probes} exceeds theorem bound {bound:.0}"
+    );
+    // Note: at n=256 the polylog factors exceed n, so SmallRadius probes
+    // *more* than probe-everything here — the protocol's advantage is the
+    // n ≫ B·polylog(n) regime, which experiment E6 sweeps.
+}
+
+#[test]
+fn tolerates_inverters_at_paper_threshold() {
+    let d = 8;
+    let budget = 4;
+    let inst = planted(144, 144, 4, d, 21);
+    // n/(3B) = 12 dishonest players.
+    let count = Corruption::paper_threshold(144, budget);
+    let dishonest = Corruption::Count { count }.select(&inst, 2);
+    let behaviors = Behaviors::new(inst.truth(), dishonest, &Inverter);
+    let (out, _) = run_small_radius(&inst, &behaviors, budget, d, 17);
+    let mut worst = 0;
+    for p in 0..144u32 {
+        if !behaviors.is_dishonest(p) {
+            worst = worst.max(out[p as usize].hamming(&inst.truth().row(p as usize)));
+        }
+    }
+    assert!(
+        worst <= 8 * d,
+        "worst honest error {worst} > 8D under inverters"
+    );
+}
+
+#[test]
+fn tolerates_random_liars() {
+    let d = 6;
+    let inst = planted(120, 120, 4, d, 31);
+    let dishonest = Corruption::Count { count: 10 }.select(&inst, 3);
+    let liar = RandomLiar { flip_prob: 0.5 };
+    let behaviors = Behaviors::new(inst.truth(), dishonest, &liar);
+    let (out, _) = run_small_radius(&inst, &behaviors, 4, d, 19);
+    let mut worst = 0;
+    for p in 0..120u32 {
+        if !behaviors.is_dishonest(p) {
+            worst = worst.max(out[p as usize].hamming(&inst.truth().row(p as usize)));
+        }
+    }
+    assert!(
+        worst <= 8 * d,
+        "worst honest error {worst} under random liars"
+    );
+}
+
+#[test]
+fn hijacker_in_cluster_does_not_sink_victims() {
+    let d = 6;
+    let inst = planted(128, 128, 4, d, 41);
+    // Put 8 hijackers inside cluster 0, mimicking one of its members.
+    let victim = inst.planted().unwrap().clusters[0][0];
+    let dishonest = Corruption::InCluster {
+        cluster: 0,
+        count: 8,
+    }
+    .select(&inst, 4);
+    let strategy = ClusterHijacker { victim };
+    let behaviors = Behaviors::new(inst.truth(), dishonest, &strategy);
+    let (out, _) = run_small_radius(&inst, &behaviors, 4, d, 23);
+    let mut worst = 0;
+    for p in 0..128u32 {
+        if !behaviors.is_dishonest(p) {
+            worst = worst.max(out[p as usize].hamming(&inst.truth().row(p as usize)));
+        }
+    }
+    assert!(worst <= 10 * d, "hijackers drove honest error to {worst}");
+}
+
+#[test]
+fn deterministic_given_beacon() {
+    let inst = planted(64, 64, 2, 4, 51);
+    let behaviors = Behaviors::all_honest(inst.truth());
+    let (a, _) = run_small_radius(&inst, &behaviors, 4, 4, 29);
+    let (b, _) = run_small_radius(&inst, &behaviors, 4, 4, 29);
+    for (x, y) in a.iter().zip(&b) {
+        assert!(x.bits_eq(y));
+    }
+    let (c, _) = run_small_radius(&inst, &behaviors, 4, 4, 30);
+    let same = a.iter().zip(&c).all(|(x, y)| x.bits_eq(y));
+    // Different beacons *may* coincide on easy instances, but the probe
+    // pattern should generally differ; only assert shape here.
+    let _ = same;
+}

@@ -1,0 +1,226 @@
+//! Authenticated-slot bulletin board.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use byzscore_bitset::BitVec;
+use parking_lot::Mutex;
+
+const SHARD_COUNT: usize = 64;
+
+/// Claims about one object in one scope: `(author, claimed bit)` pairs.
+type ClaimSlot = Vec<(u32, bool)>;
+
+/// A public bulletin board with authenticated single-writer slots.
+///
+/// The paper's model: "Players have access to a public bulletin board…
+/// A dishonest player cannot modify the data written by honest players."
+/// We realize this with *slots*: a vector slot is keyed by
+/// `(scope, author)`, a claim slot by `(scope, object, author)`. The runtime
+/// passes the author id on behalf of the executing player, so impersonation
+/// is impossible by construction, and one-slot-per-author means a Byzantine
+/// player can lie but cannot vote twice in any tally.
+///
+/// Writes from concurrently executing players land in sharded hash maps;
+/// reads return snapshots sorted by author id so every consumer is
+/// deterministic regardless of scheduling.
+///
+/// `scope` values identify a protocol step instance (e.g. one `ZeroRadius`
+/// recursion node in one diameter iteration); producers derive them with
+/// [`scope_id`].
+pub struct Board {
+    vectors: Vec<Mutex<HashMap<(u64, u32), BitVec>>>,
+    claims: Vec<Mutex<HashMap<(u64, u32), ClaimSlot>>>,
+    vector_posts: AtomicU64,
+    claim_posts: AtomicU64,
+}
+
+/// Counters describing board traffic (communication-cost reporting, §8's
+/// open question about communication complexity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoardStats {
+    /// Total vector posts accepted (including slot overwrites).
+    pub vector_posts: u64,
+    /// Total claim posts accepted.
+    pub claim_posts: u64,
+}
+
+impl Board {
+    /// Empty board.
+    pub fn new() -> Self {
+        Board {
+            vectors: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            claims: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            vector_posts: AtomicU64::new(0),
+            claim_posts: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_of(scope: u64, salt: u32) -> usize {
+        // Cheap mix; shard only needs to spread load.
+        let h = scope ^ u64::from(salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h as usize >> 3) % SHARD_COUNT
+    }
+
+    /// Post (or overwrite) `author`'s vector in `scope`'s slot.
+    pub fn post_vector(&self, scope: u64, author: u32, v: BitVec) {
+        self.vector_posts.fetch_add(1, Ordering::Relaxed);
+        self.vectors[Self::shard_of(scope, author)]
+            .lock()
+            .insert((scope, author), v);
+    }
+
+    /// All vectors posted in `scope`, sorted by author id.
+    pub fn vectors(&self, scope: u64) -> Vec<(u32, BitVec)> {
+        let mut out: Vec<(u32, BitVec)> = Vec::new();
+        for shard in &self.vectors {
+            let guard = shard.lock();
+            out.extend(
+                guard
+                    .iter()
+                    .filter(|((s, _), _)| *s == scope)
+                    .map(|(&(_, a), v)| (a, v.clone())),
+            );
+        }
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// `author`'s vector in `scope`, if posted.
+    pub fn vector_of(&self, scope: u64, author: u32) -> Option<BitVec> {
+        self.vectors[Self::shard_of(scope, author)]
+            .lock()
+            .get(&(scope, author))
+            .cloned()
+    }
+
+    /// Post `author`'s bit claim about `object` in `scope`. One slot per
+    /// `(scope, object, author)`: re-posting overwrites.
+    pub fn post_claim(&self, scope: u64, author: u32, object: u32, value: bool) {
+        self.claim_posts.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.claims[Self::shard_of(scope, object)].lock();
+        let entries = guard.entry((scope, object)).or_default();
+        match entries.iter_mut().find(|(a, _)| *a == author) {
+            Some(slot) => slot.1 = value,
+            None => entries.push((author, value)),
+        }
+    }
+
+    /// All claims about `object` in `scope`, sorted by author id.
+    pub fn claims(&self, scope: u64, object: u32) -> Vec<(u32, bool)> {
+        let guard = self.claims[Self::shard_of(scope, object)].lock();
+        let mut out = guard.get(&(scope, object)).cloned().unwrap_or_default();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> BoardStats {
+        BoardStats {
+            vector_posts: self.vector_posts.load(Ordering::Relaxed),
+            claim_posts: self.claim_posts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Board {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Derive a scope id from a path of step identifiers (protocol step, loop
+/// indices, recursion-node ids). Same mixing as seed derivation so distinct
+/// paths do not collide in practice.
+pub fn scope_id(path: &[u64]) -> u64 {
+    let mut h: u64 = 0x243f_6a88_85a3_08d3;
+    for &t in path {
+        h ^= t.wrapping_add(0x9e37_79b9_7f4a_7c15).rotate_left(23);
+        h = h.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        h ^= h >> 29;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_bitset::Bits;
+
+    #[test]
+    fn vector_slots_overwrite_not_duplicate() {
+        let b = Board::new();
+        b.post_vector(1, 5, BitVec::zeros(4));
+        b.post_vector(1, 5, BitVec::ones(4));
+        let vs = b.vectors(1);
+        assert_eq!(vs.len(), 1, "one slot per author");
+        assert_eq!(vs[0].0, 5);
+        assert_eq!(vs[0].1.count_ones(), 4, "last write wins");
+        assert_eq!(b.stats().vector_posts, 2);
+    }
+
+    #[test]
+    fn vectors_sorted_by_author() {
+        let b = Board::new();
+        for &a in &[9u32, 2, 7, 0] {
+            b.post_vector(3, a, BitVec::zeros(2));
+        }
+        let authors: Vec<u32> = b.vectors(3).into_iter().map(|(a, _)| a).collect();
+        assert_eq!(authors, vec![0, 2, 7, 9]);
+    }
+
+    #[test]
+    fn scopes_are_isolated() {
+        let b = Board::new();
+        b.post_vector(1, 0, BitVec::zeros(2));
+        b.post_vector(2, 1, BitVec::ones(2));
+        assert_eq!(b.vectors(1).len(), 1);
+        assert_eq!(b.vectors(2).len(), 1);
+        assert!(b.vector_of(1, 1).is_none());
+        assert!(b.vector_of(2, 1).is_some());
+    }
+
+    #[test]
+    fn claim_slots_overwrite() {
+        let b = Board::new();
+        b.post_claim(1, 3, 10, true);
+        b.post_claim(1, 3, 10, false);
+        b.post_claim(1, 4, 10, true);
+        let cs = b.claims(1, 10);
+        assert_eq!(cs, vec![(3, false), (4, true)]);
+        assert!(b.claims(1, 11).is_empty());
+        assert!(b.claims(2, 10).is_empty());
+    }
+
+    #[test]
+    fn concurrent_posts_all_land() {
+        let b = Board::new();
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let b = &b;
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        b.post_vector(7, t * 50 + i, BitVec::zeros(1));
+                        b.post_claim(8, t * 50 + i, i % 5, true);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.vectors(7).len(), 400);
+        let total_claims: usize = (0..5).map(|o| b.claims(8, o).len()).sum();
+        assert_eq!(total_claims, 400);
+    }
+
+    #[test]
+    fn scope_id_distinguishes_paths() {
+        assert_eq!(scope_id(&[1, 2, 3]), scope_id(&[1, 2, 3]));
+        assert_ne!(scope_id(&[1, 2, 3]), scope_id(&[3, 2, 1]));
+        assert_ne!(scope_id(&[1]), scope_id(&[1, 0]));
+        assert_ne!(scope_id(&[]), scope_id(&[0]));
+    }
+}

@@ -1,0 +1,41 @@
+//! The execution substrate of the paper's model (§2): a probe oracle with
+//! per-player metering, a shared bulletin board, and a phase-parallel
+//! player runtime.
+//!
+//! The paper's players proceed in synchronous rounds; in each round a player
+//! may probe one object (learning its *own* preference for it) and may read
+//! and write a public bulletin board. Dishonest players may write anything
+//! into their own slots but **cannot modify data written by honest players**.
+//!
+//! This crate realizes that model in-process:
+//!
+//! * [`Oracle`] — the only path to the hidden truth matrix; every probe is
+//!   counted against the probing player in a lock-free [`ProbeLedger`].
+//!   Probe complexity is the paper's sole cost measure, so the ledger is the
+//!   measurement instrument for every experiment.
+//! * [`Board`] — an authenticated-slot bulletin board: one vector post per
+//!   `(scope, author)` slot and one bit claim per `(scope, object, author)`
+//!   slot, so a Byzantine player can lie but can neither forge another
+//!   player's entry nor stuff ballot boxes with duplicates. Sharded mutexes
+//!   (parking_lot) make concurrent phase writes cheap; reads return
+//!   author-sorted snapshots so downstream code is deterministic.
+//! * [`par::par_map_players`] — scoped-thread data parallelism over players
+//!   with deterministic, index-ordered results: simulation speed without
+//!   giving up reproducibility.
+//!
+//! Synchrony is modeled at *phase* granularity rather than per-probe
+//! lockstep: every protocol step of Figures 1–2 is a bulk "all players do X,
+//! then all read the results" phase, which is exactly how the paper's
+//! algorithms consume the round structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulletin;
+mod ledger;
+mod oracle;
+pub mod par;
+
+pub use bulletin::{scope_id, Board, BoardStats};
+pub use ledger::{LedgerSnapshot, ProbeLedger};
+pub use oracle::Oracle;

@@ -1,0 +1,168 @@
+//! The probe oracle: metered access to hidden preferences.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use byzscore_bitset::BitMatrix;
+
+use crate::{LedgerSnapshot, ProbeLedger};
+
+/// The only sanctioned path from protocol code to the hidden truth matrix.
+///
+/// "Every time a player probes an object, it learns its preference for that
+/// object" (§2). Each call to [`Oracle::probe`] returns `v(player)[object]`
+/// and charges the probe to `player` in the ledger. Protocol honesty about
+/// budgets is then checkable after the fact: experiments assert
+/// `ledger.max() ≤ c · B · polylog(n)`.
+///
+/// # Memoization
+///
+/// By default the oracle is *memoized*: a player re-probing an object it
+/// has already evaluated is not charged again — players remember their own
+/// opinions, so only *first* evaluations cost anything. This matches what a
+/// real deployment pays (a reviewer reads each paper at most once) and only
+/// tightens the paper's upper bounds, which are proved without dedup.
+/// [`Oracle::new_uncached`] restores raw per-call accounting for analyses
+/// that want the paper's literal counting.
+pub struct Oracle<'a> {
+    truth: &'a BitMatrix,
+    ledger: ProbeLedger,
+    /// One bit per (player, object): probed before? `None` = uncached mode.
+    seen: Option<Vec<AtomicU64>>,
+    cols: usize,
+}
+
+impl<'a> Oracle<'a> {
+    /// Memoized oracle over `truth` with a fresh ledger (the default).
+    pub fn new(truth: &'a BitMatrix) -> Self {
+        let bits = truth.rows() * truth.cols();
+        Oracle {
+            ledger: ProbeLedger::new(truth.rows()),
+            seen: Some((0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()),
+            cols: truth.cols(),
+            truth,
+        }
+    }
+
+    /// Oracle charging every probe call, including repeats (the paper's
+    /// literal accounting).
+    pub fn new_uncached(truth: &'a BitMatrix) -> Self {
+        Oracle {
+            ledger: ProbeLedger::new(truth.rows()),
+            seen: None,
+            cols: truth.cols(),
+            truth,
+        }
+    }
+
+    /// Number of players.
+    pub fn players(&self) -> usize {
+        self.truth.rows()
+    }
+
+    /// Number of objects.
+    pub fn objects(&self) -> usize {
+        self.truth.cols()
+    }
+
+    /// Player `player` probes `object`, learning its own true preference.
+    /// Charged to the ledger (first evaluation only, in memoized mode).
+    #[inline]
+    pub fn probe(&self, player: u32, object: u32) -> bool {
+        let charge = match &self.seen {
+            None => true,
+            Some(seen) => {
+                let bit = player as usize * self.cols + object as usize;
+                let mask = 1u64 << (bit % 64);
+                let prev = seen[bit / 64].fetch_or(mask, Ordering::Relaxed);
+                prev & mask == 0
+            }
+        };
+        if charge {
+            self.ledger.record(player);
+        }
+        self.truth.get(player as usize, object as usize)
+    }
+
+    /// Probe accounting.
+    pub fn ledger(&self) -> &ProbeLedger {
+        &self.ledger
+    }
+
+    /// Convenience: snapshot of the ledger.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        self.ledger.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_bitset::BitVec;
+
+    #[test]
+    fn probe_returns_truth_and_counts() {
+        let truth = BitMatrix::from_rows(&[
+            BitVec::from_bools(&[true, false]),
+            BitVec::from_bools(&[false, true]),
+        ]);
+        let o = Oracle::new(&truth);
+        assert!(o.probe(0, 0));
+        assert!(!o.probe(0, 1));
+        assert!(!o.probe(1, 0));
+        assert!(o.probe(1, 1));
+        assert_eq!(o.ledger().count(0), 2);
+        assert_eq!(o.ledger().count(1), 2);
+        assert_eq!(o.players(), 2);
+        assert_eq!(o.objects(), 2);
+    }
+
+    #[test]
+    fn memoized_probes_charge_once() {
+        let truth = BitMatrix::zeros(2, 3);
+        let o = Oracle::new(&truth);
+        for _ in 0..10 {
+            assert!(!o.probe(0, 1));
+        }
+        assert_eq!(o.ledger().count(0), 1, "repeat evaluations are free");
+        // Distinct objects still charge.
+        o.probe(0, 0);
+        o.probe(0, 2);
+        assert_eq!(o.ledger().count(0), 3);
+        // Other players are independent.
+        o.probe(1, 1);
+        assert_eq!(o.ledger().count(1), 1);
+    }
+
+    #[test]
+    fn uncached_probes_keep_charging() {
+        let truth = BitMatrix::zeros(1, 1);
+        let o = Oracle::new_uncached(&truth);
+        for _ in 0..10 {
+            assert!(!o.probe(0, 0));
+        }
+        assert_eq!(o.ledger().count(0), 10);
+    }
+
+    #[test]
+    fn memoized_concurrent_charging_is_exact() {
+        let truth = BitMatrix::zeros(4, 256);
+        let o = Oracle::new(&truth);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let o = &o;
+                s.spawn(move || {
+                    for rep in 0..3 {
+                        let _ = rep;
+                        for obj in 0..256u32 {
+                            o.probe(t, obj);
+                        }
+                    }
+                });
+            }
+        });
+        // Each player touched 256 distinct objects, three times each.
+        for p in 0..4 {
+            assert_eq!(o.ledger().count(p), 256);
+        }
+    }
+}

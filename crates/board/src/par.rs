@@ -1,0 +1,128 @@
+//! Deterministic phase-parallelism over players.
+//!
+//! Every step of Figures 1–2 has the shape "all players do X"; the
+//! simulator executes such phases with scoped threads over player ranges.
+//! Outputs are collected *by player index*, so results are bit-identical
+//! regardless of the number of worker threads — reproducibility is a
+//! property the experiments rely on (see `tests/determinism.rs`).
+
+/// Apply `f` to every player index in `0..n`, in parallel, returning results
+/// in player order.
+///
+/// `f` must be `Sync` (players share read-only state plus the internally
+/// synchronized board/ledger) and is called exactly once per player.
+pub fn par_map_players<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(start + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
+/// Apply `f` to each item of `items` in parallel, preserving order.
+pub fn par_map_items<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(&items[start + i]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
+fn threads_for(n: usize) -> usize {
+    if n < 32 {
+        // Tiny phases are faster sequentially than through thread spawn.
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map_or(1, |v| v.get())
+            .min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_player_order() {
+        let out = par_map_players(1000, |p| p * 2);
+        assert_eq!(out.len(), 1000);
+        for (p, v) in out.iter().enumerate() {
+            assert_eq!(*v, p * 2);
+        }
+    }
+
+    #[test]
+    fn each_player_called_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map_players(257, |p| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            p
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert!(par_map_players(0, |p| p).is_empty());
+        assert_eq!(par_map_players(1, |p| p + 1), vec![1]);
+    }
+
+    #[test]
+    fn par_map_items_preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map_items(&items, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_results() {
+        let seq: Vec<usize> = (0..300usize).map(|p| p.wrapping_mul(31) ^ 7).collect();
+        let par = par_map_players(300, |p: usize| p.wrapping_mul(31) ^ 7);
+        assert_eq!(seq, par);
+    }
+}

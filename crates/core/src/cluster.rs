@@ -1,0 +1,262 @@
+//! Step 1.d: neighbor graph over sample vectors and greedy cluster peeling
+//! (§6.5, Lemmas 8–9).
+
+use byzscore_bitset::{BitVec, Bits};
+use byzscore_board::par::par_map_players;
+
+/// A clustering of the players.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// For each player, the index of its cluster.
+    pub assignment: Vec<u32>,
+    /// Member lists (each sorted ascending).
+    pub clusters: Vec<Vec<u32>>,
+}
+
+impl Clustering {
+    /// Members of `player`'s cluster.
+    pub fn cluster_of(&self, player: u32) -> &[u32] {
+        &self.clusters[self.assignment[player as usize] as usize]
+    }
+
+    /// Size of the smallest cluster (Lemma 9 property 2: ≥ n/B).
+    pub fn min_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Everyone in exactly one cluster (Lemma 9 property 1).
+    pub fn is_partition(&self) -> bool {
+        let n = self.assignment.len();
+        let mut seen = vec![false; n];
+        for members in &self.clusters {
+            for &p in members {
+                if seen[p as usize] {
+                    return false;
+                }
+                seen[p as usize] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// Build the neighbor graph: `(p, q)` is an edge iff
+/// `|z(p) − z(q)| ≤ threshold` (Lemma 8). `O(n²)` bounded-distance
+/// comparisons, parallel over rows with early-exit popcounts.
+pub fn neighbor_graph(zvecs: &[BitVec], threshold: usize) -> Vec<Vec<u32>> {
+    let n = zvecs.len();
+    par_map_players(n, |p| {
+        let mut adj = Vec::new();
+        let zp = &zvecs[p];
+        for (q, zq) in zvecs.iter().enumerate() {
+            if q != p && zp.hamming_within(zq, threshold).is_some() {
+                adj.push(q as u32);
+            }
+        }
+        adj
+    })
+}
+
+/// Greedy peeling of §6.5:
+///
+/// 1. While some remaining player has ≥ `min_size − 1` remaining neighbors,
+///    peel it and its neighbors off as a new cluster.
+/// 2. Attach every leftover player to a cluster that contains one of its
+///    original neighbors (the paper's argument: its degree only dropped
+///    because neighbors were peeled).
+/// 3. Total-function fallbacks for degenerate inputs the lemmas exclude
+///    (no cluster formed at all, a leftover with no surviving neighbor):
+///    join the cluster whose first member's `z` is closest. Wrong-diameter
+///    guesses produce such inputs routinely; their candidates are discarded
+///    later by `RSelect`.
+pub fn peel_clusters(zvecs: &[BitVec], adjacency: &[Vec<u32>], min_size: usize) -> Clustering {
+    let n = zvecs.len();
+    assert!(n > 0, "cannot cluster zero players");
+    let need = min_size.saturating_sub(1);
+
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = adjacency.iter().map(Vec::len).collect();
+    let mut assignment: Vec<Option<u32>> = vec![None; n];
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+
+    // Phase 1: peel seeds with enough remaining neighbors. Highest current
+    // degree first — any qualifying seed satisfies Lemma 9; max-degree makes
+    // the run deterministic and compact.
+    loop {
+        let seed = (0..n)
+            .filter(|&p| alive[p] && degree[p] >= need)
+            .max_by_key(|&p| (degree[p], std::cmp::Reverse(p)));
+        let Some(seed) = seed else { break };
+        let mut members: Vec<u32> = vec![seed as u32];
+        members.extend(
+            adjacency[seed]
+                .iter()
+                .copied()
+                .filter(|&q| alive[q as usize]),
+        );
+        members.sort_unstable();
+        let id = clusters.len() as u32;
+        for &m in &members {
+            alive[m as usize] = false;
+            assignment[m as usize] = Some(id);
+        }
+        // Update residual degrees of everyone adjacent to the peeled set.
+        for &m in &members {
+            for &q in &adjacency[m as usize] {
+                if alive[q as usize] {
+                    degree[q as usize] = degree[q as usize].saturating_sub(1);
+                }
+            }
+        }
+        clusters.push(members);
+    }
+
+    // Phase 2: leftovers attach to a cluster containing an original
+    // neighbor (lowest cluster id), else to the z-nearest cluster seed.
+    for p in 0..n {
+        if assignment[p].is_some() {
+            continue;
+        }
+        let via_neighbor = adjacency[p]
+            .iter()
+            .filter_map(|&q| assignment[q as usize])
+            .min();
+        let id = via_neighbor.unwrap_or_else(|| {
+            if clusters.is_empty() {
+                clusters.push(Vec::new());
+            }
+            // Nearest cluster by z-distance to the cluster's first member.
+            (0..clusters.len() as u32)
+                .min_by_key(|&c| {
+                    clusters[c as usize]
+                        .first()
+                        .map_or(usize::MAX, |&m| zvecs[p].hamming(&zvecs[m as usize]))
+                })
+                .expect("at least one cluster exists")
+        });
+        assignment[p] = Some(id);
+        let members = &mut clusters[id as usize];
+        let pos = members.partition_point(|&m| m < p as u32);
+        members.insert(pos, p as u32);
+    }
+
+    Clustering {
+        assignment: assignment
+            .into_iter()
+            .map(|a| a.expect("assigned"))
+            .collect(),
+        clusters,
+    }
+}
+
+/// Convenience: graph + peel in one call.
+pub fn cluster_players(zvecs: &[BitVec], threshold: usize, min_size: usize) -> Clustering {
+    let adj = neighbor_graph(zvecs, threshold);
+    peel_clusters(zvecs, &adj, min_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Two tight camps far apart.
+    fn two_camps(len: usize, per_camp: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = BitVec::random(&mut rng, len);
+        let b = a.complement();
+        let mut out = Vec::new();
+        for i in 0..2 * per_camp {
+            let mut v = if i < per_camp { a.clone() } else { b.clone() };
+            v.flip_random_distinct(&mut rng, 2);
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn neighbor_graph_thresholds() {
+        let zs = two_camps(128, 8, 1);
+        let adj = neighbor_graph(&zs, 4);
+        // Within-camp distance ≤ 4; cross-camp ≈ 128.
+        for (p, neighbors) in adj.iter().enumerate().take(8) {
+            assert!(
+                neighbors.iter().all(|&q| q < 8),
+                "camp A player {p} linked out"
+            );
+            assert_eq!(neighbors.len(), 7, "camp A is a clique under the threshold");
+        }
+        for neighbors in adj.iter().take(16).skip(8) {
+            assert!(neighbors.iter().all(|&q| q >= 8));
+        }
+    }
+
+    #[test]
+    fn peeling_recovers_camps() {
+        let zs = two_camps(128, 8, 2);
+        let c = cluster_players(&zs, 4, 8);
+        assert!(c.is_partition());
+        assert_eq!(c.clusters.len(), 2);
+        assert_eq!(c.min_size(), 8);
+        // Camp purity.
+        let id0 = c.assignment[0];
+        for p in 0..8 {
+            assert_eq!(c.assignment[p], id0);
+        }
+        for p in 8..16 {
+            assert_ne!(c.assignment[p], id0);
+        }
+    }
+
+    #[test]
+    fn leftovers_attach_via_neighbors() {
+        // Chain: clique of 5 + one pendant attached to a clique member.
+        let mut zs = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let center = BitVec::random(&mut rng, 64);
+        for _ in 0..5 {
+            zs.push(center.clone());
+        }
+        let mut pendant = center.clone();
+        pendant.flip_random_distinct(&mut rng, 3); // within threshold of clique
+        zs.push(pendant);
+        let c = cluster_players(&zs, 3, 5);
+        assert!(c.is_partition());
+        assert_eq!(c.clusters.len(), 1);
+        assert_eq!(c.clusters[0].len(), 6);
+    }
+
+    #[test]
+    fn no_qualifying_seed_degenerates_gracefully() {
+        // All-far players, min_size larger than any neighborhood.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let zs: Vec<BitVec> = (0..6).map(|_| BitVec::random(&mut rng, 256)).collect();
+        let c = cluster_players(&zs, 2, 4);
+        assert!(c.is_partition());
+        assert!(!c.clusters.is_empty());
+        let total: usize = c.clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn assignment_matches_membership() {
+        let zs = two_camps(64, 6, 5);
+        let c = cluster_players(&zs, 4, 6);
+        for (p, &a) in c.assignment.iter().enumerate() {
+            assert!(c.clusters[a as usize].contains(&(p as u32)));
+        }
+        for (&p, members) in c.assignment.iter().zip(std::iter::repeat(&())) {
+            let _ = (p, members);
+        }
+    }
+
+    #[test]
+    fn singleton_input() {
+        let zs = vec![BitVec::zeros(8)];
+        let c = cluster_players(&zs, 1, 1);
+        assert!(c.is_partition());
+        assert_eq!(c.clusters.len(), 1);
+        assert_eq!(c.cluster_of(0), &[0]);
+    }
+}

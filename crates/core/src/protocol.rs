@@ -1,0 +1,189 @@
+//! `CalculatePreferences` — **Figure 2**, the paper's main protocol (§6).
+
+use byzscore_adversary::Phase;
+use byzscore_bitset::BitVec;
+use byzscore_blocks::{rselect, small_radius, Ctx};
+use byzscore_board::par::par_map_players;
+use byzscore_random::Provenance;
+
+use crate::cluster::cluster_players;
+use crate::sampling::choose_sample;
+use crate::share::share_work;
+use crate::ProtocolParams;
+
+/// Scope-path tag for `CalculatePreferences` invocations.
+const CALC_TAG: u64 = 0xca1c;
+
+/// Run Figure 2 once under the context's beacon, producing one output
+/// vector per player (over all objects).
+///
+/// For each diameter guess `D = 2^d` (step 1): draw the shared sample `S`
+/// (1.b), recover every player's sample vector with `SmallRadius` (1.c),
+/// build the neighbor graph and peel clusters (1.d), and share the probing
+/// work with majority votes (1.e), yielding candidate `w_d`. Step 2: each
+/// player runs `RSelect` over its candidates.
+///
+/// `scope_path` distinguishes repetitions in the robust wrapper (board
+/// scopes and private streams are derived from it).
+///
+/// If the beacon is dishonest-provenance and `params.leader_sabotage` is
+/// set, the sample comes out empty and the work-sharing assignment is
+/// rigged toward dishonest members — modeling a leader who published
+/// adversarial bits. Honest-leader repetitions plus the final `RSelect`
+/// are what §7.1 relies on to survive this.
+pub fn calculate_preferences(
+    ctx: &Ctx<'_>,
+    params: &ProtocolParams,
+    scope_path: &[u64],
+) -> Vec<BitVec> {
+    let n = ctx.n();
+    let m = ctx.oracle.objects();
+    let sabotaged = params.leader_sabotage && ctx.beacon.provenance() == Provenance::Dishonest;
+
+    let guesses = params.diameter_guesses(n, m);
+    let sr_diameter = params.sample_diameter(n);
+    let edge_threshold = params.edge_threshold(n);
+    let min_cluster = params.peel_min_size(n);
+    let reps = params.probe_reps(n);
+    let players: Vec<u32> = (0..n as u32).collect();
+
+    // Step 1: one candidate per diameter guess.
+    let mut candidates: Vec<Vec<BitVec>> = vec![Vec::with_capacity(guesses.len()); n];
+    for (di, &diameter) in guesses.iter().enumerate() {
+        let mut path = Vec::with_capacity(scope_path.len() + 2);
+        path.extend_from_slice(scope_path);
+        path.push(CALC_TAG);
+        path.push(di as u64);
+
+        // 1.b: shared sample (empty under a sabotaging dishonest leader —
+        // "no information published").
+        let sample = if sabotaged {
+            Vec::new()
+        } else {
+            choose_sample(&ctx.beacon, n, m, diameter, params.c_sample)
+        };
+
+        // 1.c: every player's preferences on the sample. With an empty
+        // sample all z-vectors are empty ⇒ the neighbor graph is complete
+        // ⇒ one big cluster: the degenerate candidate RSelect later weighs.
+        let z = small_radius(ctx, &players, &sample, sr_diameter, &path);
+
+        // 1.d: neighbor graph + greedy peeling.
+        let clustering = cluster_players(&z, edge_threshold, min_cluster);
+
+        // 1.e: redundant probing with majority votes.
+        let w_d = share_work(ctx, &clustering, m, reps, &path, sabotaged);
+        for (p, w) in w_d.into_iter().enumerate() {
+            candidates[p].push(w);
+        }
+    }
+
+    // Step 2: per-player RSelect across the diameter guesses.
+    let all_objects: Vec<u32> = (0..m as u32).collect();
+    par_map_players(n, |p| {
+        let p32 = p as u32;
+        if ctx.behaviors.is_dishonest(p32) {
+            ctx.behaviors.vector_claim(Phase::Other, p32, &all_objects)
+        } else {
+            let mut rng =
+                ctx.player_rng(p32, &[CALC_TAG, scope_path.first().copied().unwrap_or(0)]);
+            let won = rselect(ctx, p32, &candidates[p], &all_objects, &mut rng);
+            candidates[p][won].clone()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_adversary::Behaviors;
+    use byzscore_bitset::Bits;
+    use byzscore_board::{Board, Oracle};
+    use byzscore_model::{Balance, Workload};
+    use byzscore_random::Beacon;
+
+    #[test]
+    fn recovers_planted_clusters_with_small_error() {
+        let d = 8;
+        let inst = Workload::PlantedClusters {
+            players: 128,
+            objects: 128,
+            clusters: 4,
+            diameter: d,
+            balance: Balance::Even,
+        }
+        .generate(3);
+        let params = ProtocolParams::with_budget(4);
+        let oracle = Oracle::new(inst.truth());
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(inst.truth());
+        let ctx = Ctx::new(
+            &oracle,
+            &board,
+            &behaviors,
+            Beacon::honest(11),
+            &params.blocks,
+        );
+        let out = calculate_preferences(&ctx, &params, &[0]);
+        let mut worst = 0;
+        for (p, w) in out.iter().enumerate() {
+            worst = worst.max(w.hamming(&inst.truth().row(p)));
+        }
+        assert!(worst <= 4 * d, "worst error {worst} > 4D");
+    }
+
+    #[test]
+    fn clone_world_is_exact() {
+        let inst = Workload::CloneClasses {
+            players: 96,
+            objects: 96,
+            classes: 3,
+            balance: Balance::Even,
+        }
+        .generate(9);
+        let params = ProtocolParams::with_budget(3);
+        let oracle = Oracle::new(inst.truth());
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(inst.truth());
+        let ctx = Ctx::new(
+            &oracle,
+            &board,
+            &behaviors,
+            Beacon::honest(13),
+            &params.blocks,
+        );
+        let out = calculate_preferences(&ctx, &params, &[0]);
+        let worst = (0..96)
+            .map(|p| out[p].hamming(&inst.truth().row(p)))
+            .max()
+            .unwrap();
+        assert!(worst <= 2, "clone world should be near-exact, got {worst}");
+    }
+
+    #[test]
+    fn sabotaged_beacon_still_terminates() {
+        let inst = Workload::CloneClasses {
+            players: 32,
+            objects: 32,
+            classes: 2,
+            balance: Balance::Even,
+        }
+        .generate(15);
+        let params = ProtocolParams::with_budget(4);
+        let oracle = Oracle::new(inst.truth());
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(inst.truth());
+        let ctx = Ctx::new(
+            &oracle,
+            &board,
+            &behaviors,
+            Beacon::dishonest(13),
+            &params.blocks,
+        );
+        let out = calculate_preferences(&ctx, &params, &[1]);
+        assert_eq!(out.len(), 32);
+        // With everyone honest even a sabotaged beacon yields the global
+        // majority per cluster — still decent on a 2-clone world, but the
+        // contract here is only totality.
+    }
+}

@@ -1,0 +1,189 @@
+//! §7: the Byzantine-robust wrapper — elect, repeat, select.
+//!
+//! Shared randomness is the one resource Figure 2 cannot create for itself:
+//! if the dishonest players bias the sample or the probe assignments, every
+//! guarantee collapses (see `share_work`'s `rig` mode for how bad it gets).
+//! The paper's remedy (§7.1): elect a leader with Feige's lightest-bin
+//! protocol — honest with constant probability — and let the leader publish
+//! the bits. Repeat the whole pipeline Θ(log n) times with fresh elections;
+//! with high probability some repetition had an honest leader, and each
+//! player's final `RSelect` over the repetition candidates discards the
+//! sabotaged ones.
+
+use byzscore_adversary::Phase;
+use byzscore_bitset::BitVec;
+use byzscore_blocks::{rselect, Ctx};
+use byzscore_board::par::par_map_players;
+use byzscore_election::{elect, BinStrategy, ElectionParams};
+use byzscore_random::{derive_seed, tags, Beacon};
+
+use crate::protocol::calculate_preferences;
+use crate::ProtocolParams;
+
+/// Per-repetition record, for experiment introspection (E9/E10).
+#[derive(Clone, Debug)]
+pub struct RepetitionLog {
+    /// Elected leader.
+    pub leader: u32,
+    /// Whether that leader was honest.
+    pub leader_honest: bool,
+    /// Election rounds played.
+    pub election_rounds: usize,
+}
+
+/// Run the full §7 protocol: `reps` (Θ(log n)) iterations of
+/// (lightest-bin election → leader beacon → `CalculatePreferences`),
+/// finished with a per-player `RSelect` across the repetition candidates.
+///
+/// `election_adversary` controls how the coordinated dishonest players
+/// play the bin game (rushing, full-information). The master context's
+/// beacon seeds the private election coins and derives each leader's
+/// published beacon; a dishonest leader's beacon carries
+/// dishonest provenance, which (with `params.leader_sabotage`) triggers
+/// the sabotage model inside Figure 2.
+///
+/// Returns the per-player outputs plus the repetition log.
+pub fn robust_calculate_preferences(
+    ctx: &Ctx<'_>,
+    params: &ProtocolParams,
+    election_adversary: &dyn BinStrategy,
+) -> (Vec<BitVec>, Vec<RepetitionLog>) {
+    let n = ctx.n();
+    let m = ctx.oracle.objects();
+    let reps = params.election_reps(n);
+    let election_params = ElectionParams::for_players(n);
+    let dishonest_mask = ctx.behaviors.dishonest_mask();
+
+    let mut logs = Vec::with_capacity(reps);
+    let mut candidates: Vec<Vec<BitVec>> = vec![Vec::with_capacity(reps); n];
+
+    for r in 0..reps {
+        // §7.1: elect a leader (full information, rushing adversary).
+        let election_seed = derive_seed(ctx.beacon.seed(), &[tags::ELECTION, r as u64]);
+        let outcome = elect(
+            dishonest_mask,
+            election_adversary,
+            &election_params,
+            election_seed,
+        );
+
+        // The leader publishes its random string; we model it as a beacon
+        // derived from (master seed, repetition, leader). A dishonest
+        // leader's string is adversarial: dishonest provenance.
+        let beacon_seed = derive_seed(
+            ctx.beacon.seed(),
+            &[0xbeac, r as u64, u64::from(outcome.leader)],
+        );
+        let beacon = if outcome.leader_honest {
+            Beacon::honest(beacon_seed)
+        } else {
+            Beacon::dishonest(beacon_seed)
+        };
+        logs.push(RepetitionLog {
+            leader: outcome.leader,
+            leader_honest: outcome.leader_honest,
+            election_rounds: outcome.rounds,
+        });
+
+        let rep_ctx = ctx.with_beacon(beacon);
+        let w_r = calculate_preferences(&rep_ctx, params, &[0x0b57, r as u64]);
+        for (p, w) in w_r.into_iter().enumerate() {
+            candidates[p].push(w);
+        }
+    }
+
+    // Final RSelect across repetitions ("the players then execute RSelect
+    // to choose the best vector"). Run under the master context — RSelect
+    // is local and needs no shared randomness (§7.1).
+    let all_objects: Vec<u32> = (0..m as u32).collect();
+    let out = par_map_players(n, |p| {
+        let p32 = p as u32;
+        if ctx.behaviors.is_dishonest(p32) {
+            ctx.behaviors.vector_claim(Phase::Other, p32, &all_objects)
+        } else {
+            let mut rng = ctx.player_rng(p32, &[0x0b57, 0xf1aa1]);
+            let won = rselect(ctx, p32, &candidates[p], &all_objects, &mut rng);
+            candidates[p][won].clone()
+        }
+    });
+    (out, logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_adversary::{Behaviors, Corruption, Inverter};
+    use byzscore_bitset::Bits;
+    use byzscore_board::{Board, Oracle};
+    use byzscore_election::GreedyInfiltrate;
+    use byzscore_model::{Balance, Workload};
+
+    #[test]
+    fn robust_run_with_inverters_keeps_honest_error_small() {
+        let d = 6;
+        let budget = 4;
+        let inst = Workload::PlantedClusters {
+            players: 96,
+            objects: 96,
+            clusters: 4,
+            diameter: d,
+            balance: Balance::Even,
+        }
+        .generate(7);
+        let count = Corruption::paper_threshold(96, budget); // n/(3B) = 8
+        let dishonest = Corruption::Count { count }.select(&inst, 1);
+        let behaviors = Behaviors::new(inst.truth(), dishonest, &Inverter);
+        let params = ProtocolParams::with_budget(budget);
+        let oracle = Oracle::new(inst.truth());
+        let board = Board::new();
+        let ctx = Ctx::new(
+            &oracle,
+            &board,
+            &behaviors,
+            Beacon::honest(3),
+            &params.blocks,
+        );
+        let (out, logs) = robust_calculate_preferences(&ctx, &params, &GreedyInfiltrate);
+        assert_eq!(logs.len(), params.election_reps(96));
+        assert!(
+            logs.iter().any(|l| l.leader_honest),
+            "no repetition had an honest leader — amplification failed"
+        );
+        let mut worst = 0;
+        for p in 0..96u32 {
+            if !behaviors.is_dishonest(p) {
+                worst = worst.max(out[p as usize].hamming(&inst.truth().row(p as usize)));
+            }
+        }
+        assert!(worst <= 6 * d, "honest error {worst} > 6D in robust mode");
+    }
+
+    #[test]
+    fn all_honest_robust_equals_low_error() {
+        let inst = Workload::CloneClasses {
+            players: 64,
+            objects: 64,
+            classes: 2,
+            balance: Balance::Even,
+        }
+        .generate(11);
+        let params = ProtocolParams::with_budget(4);
+        let behaviors = Behaviors::all_honest(inst.truth());
+        let oracle = Oracle::new(inst.truth());
+        let board = Board::new();
+        let ctx = Ctx::new(
+            &oracle,
+            &board,
+            &behaviors,
+            Beacon::honest(5),
+            &params.blocks,
+        );
+        let (out, logs) = robust_calculate_preferences(&ctx, &params, &GreedyInfiltrate);
+        assert!(logs.iter().all(|l| l.leader_honest));
+        let worst = (0..64)
+            .map(|p| out[p].hamming(&inst.truth().row(p)))
+            .max()
+            .unwrap();
+        assert!(worst <= 2, "clone world robust error {worst}");
+    }
+}

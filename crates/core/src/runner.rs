@@ -1,0 +1,262 @@
+//! High-level experiment runner: one call from (instance, adversary,
+//! algorithm) to a measured [`Outcome`].
+
+use std::time::{Duration, Instant};
+
+use byzscore_adversary::{Behaviors, Corruption, Strategy, Truthful};
+use byzscore_bitset::BitMatrix;
+use byzscore_blocks::Ctx;
+use byzscore_board::{Board, BoardStats, LedgerSnapshot, Oracle};
+use byzscore_election::{BinStrategy, GreedyInfiltrate};
+use byzscore_model::metrics::{error_report, ErrorReport};
+use byzscore_model::Instance;
+use byzscore_random::Beacon;
+
+use crate::robust::RepetitionLog;
+use crate::{baseline, calculate_preferences, robust_calculate_preferences, ProtocolParams};
+
+static TRUTHFUL: Truthful = Truthful;
+
+/// Which algorithm to execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Figure 2 with trusted shared randomness (§6 analysis).
+    CalculatePreferences,
+    /// Full §7 protocol: elections + repetitions + `RSelect`.
+    Robust,
+    /// Prior-art proxy: direct sampling, no collaborative compression, no
+    /// vote redundancy (§6.2's "natural approach", cf. \[2,3\]).
+    NaiveSampling,
+    /// No collaboration beyond pooling probe results.
+    Solo,
+    /// Population-majority per object.
+    GlobalMajority,
+    /// Skyline: planted clusters given for free.
+    OracleClusters,
+    /// `SmallRadius` run directly on the full object set with the given
+    /// diameter (the direct \[2,3\] machinery, no sampling loop).
+    DirectSmallRadius(usize),
+}
+
+impl Algorithm {
+    /// Stable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::CalculatePreferences => "calculate-preferences".into(),
+            Algorithm::Robust => "robust".into(),
+            Algorithm::NaiveSampling => "naive-sampling".into(),
+            Algorithm::Solo => "solo".into(),
+            Algorithm::GlobalMajority => "global-majority".into(),
+            Algorithm::OracleClusters => "oracle-clusters".into(),
+            Algorithm::DirectSmallRadius(d) => format!("direct-small-radius(D={d})"),
+        }
+    }
+}
+
+/// Everything measured from one protocol execution.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Per-player output matrix `w`.
+    pub output: BitMatrix,
+    /// Error report over **honest** players (the paper's guarantee).
+    pub errors: ErrorReport,
+    /// Final probe counts per player.
+    pub probes: LedgerSnapshot,
+    /// Maximum probes spent by any honest player — the budget the paper's
+    /// Lemmas 10–11 bound.
+    pub max_honest_probes: u64,
+    /// Bulletin-board traffic.
+    pub board: BoardStats,
+    /// Wall-clock duration of the protocol run.
+    pub elapsed: Duration,
+    /// Robust-mode election log (empty for other algorithms).
+    pub repetitions: Vec<RepetitionLog>,
+    /// Number of dishonest players in the run.
+    pub dishonest_count: usize,
+}
+
+/// Builder tying an instance, parameters, and an adversary together.
+///
+/// ```
+/// use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+/// use byzscore_adversary::{Corruption, Inverter};
+/// use byzscore_model::{Balance, Workload};
+///
+/// let instance = Workload::CloneClasses {
+///     players: 48, objects: 160, classes: 2, balance: Balance::Even,
+/// }
+/// .generate(1);
+///
+/// let outcome = ScoringSystem::new(&instance, ProtocolParams::with_budget(8))
+///     .with_adversary(Corruption::Count { count: 2 }, &Inverter)
+///     .run(Algorithm::Robust, 7);
+/// assert!(outcome.errors.max <= 4);
+/// ```
+pub struct ScoringSystem<'a> {
+    instance: &'a Instance,
+    params: ProtocolParams,
+    corruption: Corruption,
+    strategy: &'a dyn Strategy,
+    election_adversary: &'a dyn BinStrategy,
+}
+
+impl<'a> ScoringSystem<'a> {
+    /// System over `instance` with everyone honest.
+    pub fn new(instance: &'a Instance, params: ProtocolParams) -> Self {
+        ScoringSystem {
+            instance,
+            params,
+            corruption: Corruption::None,
+            strategy: &TRUTHFUL,
+            election_adversary: &GREEDY_DEFAULT,
+        }
+    }
+
+    /// Install a corruption model and dishonest strategy.
+    pub fn with_adversary(mut self, corruption: Corruption, strategy: &'a dyn Strategy) -> Self {
+        self.corruption = corruption;
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override how dishonest players play the leader election.
+    pub fn with_election_adversary(mut self, adversary: &'a dyn BinStrategy) -> Self {
+        self.election_adversary = adversary;
+        self
+    }
+
+    /// Access the parameters (for experiment sweeps).
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// Execute `algorithm` with master seed `seed` and measure everything.
+    pub fn run(&self, algorithm: Algorithm, seed: u64) -> Outcome {
+        let truth = self.instance.truth();
+        let dishonest = self.corruption.select(self.instance, seed);
+        let behaviors = Behaviors::new(truth, dishonest, self.strategy);
+        let oracle = Oracle::new(truth);
+        let board = Board::new();
+        let ctx = Ctx::new(
+            &oracle,
+            &board,
+            &behaviors,
+            Beacon::honest(seed),
+            &self.params.blocks,
+        );
+
+        let start = Instant::now();
+        let mut repetitions = Vec::new();
+        let rows = match algorithm {
+            Algorithm::CalculatePreferences => calculate_preferences(&ctx, &self.params, &[0]),
+            Algorithm::Robust => {
+                let (rows, logs) =
+                    robust_calculate_preferences(&ctx, &self.params, self.election_adversary);
+                repetitions = logs;
+                rows
+            }
+            Algorithm::NaiveSampling => baseline::naive_sampling(&ctx, &self.params),
+            Algorithm::Solo => baseline::solo(&ctx, &self.params),
+            Algorithm::GlobalMajority => baseline::global_majority(&ctx, &self.params),
+            Algorithm::OracleClusters => {
+                baseline::oracle_clusters(&ctx, &self.params, self.instance)
+            }
+            Algorithm::DirectSmallRadius(d) => {
+                let players: Vec<u32> = (0..self.instance.players() as u32).collect();
+                let objects: Vec<u32> = (0..self.instance.objects() as u32).collect();
+                byzscore_blocks::small_radius(&ctx, &players, &objects, d, &[0xd1])
+            }
+        };
+        let elapsed = start.elapsed();
+
+        let output = BitMatrix::from_rows(&rows);
+        let honest_mask = behaviors.honest_mask();
+        let errors = error_report(&output, truth, Some(&honest_mask));
+        let probes = oracle.snapshot();
+        let max_honest_probes = probes.max_where(&honest_mask);
+
+        Outcome {
+            algorithm: algorithm.name(),
+            output,
+            errors,
+            probes,
+            max_honest_probes,
+            board: board.stats(),
+            elapsed,
+            repetitions,
+            dishonest_count: behaviors.dishonest_count(),
+        }
+    }
+}
+
+static GREEDY_DEFAULT: GreedyInfiltrate = GreedyInfiltrate;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_adversary::Inverter;
+    use byzscore_model::{Balance, Workload};
+
+    fn instance() -> Instance {
+        Workload::PlantedClusters {
+            players: 64,
+            objects: 64,
+            clusters: 2,
+            diameter: 4,
+            balance: Balance::Even,
+        }
+        .generate(5)
+    }
+
+    #[test]
+    fn runner_measures_everything() {
+        let inst = instance();
+        let outcome = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+            .run(Algorithm::CalculatePreferences, 1);
+        assert_eq!(outcome.algorithm, "calculate-preferences");
+        assert_eq!(outcome.output.rows(), 64);
+        assert!(outcome.errors.max <= 16, "error {}", outcome.errors.max);
+        assert!(outcome.max_honest_probes > 0);
+        assert!(outcome.board.claim_posts > 0);
+        assert_eq!(outcome.dishonest_count, 0);
+        assert!(outcome.repetitions.is_empty());
+    }
+
+    #[test]
+    fn runner_is_deterministic_in_seed() {
+        let inst = instance();
+        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+        let a = sys.run(Algorithm::CalculatePreferences, 9);
+        let b = sys.run(Algorithm::CalculatePreferences, 9);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.probes.counts(), b.probes.counts());
+    }
+
+    #[test]
+    fn adversarial_runner_excludes_dishonest_from_errors() {
+        let inst = instance();
+        let outcome = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+            .with_adversary(Corruption::Count { count: 5 }, &Inverter)
+            .run(Algorithm::GlobalMajority, 3);
+        assert_eq!(outcome.dishonest_count, 5);
+        assert_eq!(outcome.errors.evaluated, 59);
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let inst = instance();
+        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+        for alg in [
+            Algorithm::Solo,
+            Algorithm::GlobalMajority,
+            Algorithm::OracleClusters,
+            Algorithm::NaiveSampling,
+            Algorithm::DirectSmallRadius(8),
+        ] {
+            let out = sys.run(alg, 2);
+            assert_eq!(out.output.rows(), 64, "{}", alg.name());
+        }
+    }
+}

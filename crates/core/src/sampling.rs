@@ -1,0 +1,137 @@
+//! Step 1.b: shared random sample selection, and the Lemma 6 distance
+//! separation it provides.
+
+use byzscore_bitset::{BitMatrix, Bits};
+use byzscore_random::{bernoulli_subset, tags, Beacon};
+
+/// Choose the sample set `S` for diameter guess `diameter`: every object is
+/// included independently with probability `c_sample · ln n / D`, drawn
+/// from the shared beacon (so every honest player computes the identical
+/// set — step 1.b publishes the selection).
+///
+/// The rate clamps to 1, which makes the first diameter guess (`D ≈ ln n`)
+/// sample *everything*: exactly §6.1's "diameter < log n ⇒ run SmallRadius
+/// directly" easy case, folded into the loop.
+pub fn choose_sample(
+    beacon: &Beacon,
+    n_players: usize,
+    n_objects: usize,
+    diameter: usize,
+    c_sample: f64,
+) -> Vec<u32> {
+    let ln_n = (n_players.max(2) as f64).ln();
+    let rate = (c_sample * ln_n / diameter.max(1) as f64).clamp(0.0, 1.0);
+    let mut rng = beacon.sub_rng(&[tags::SAMPLE, diameter as u64]);
+    bernoulli_subset(&mut rng, n_objects, rate)
+}
+
+/// Empirical check of **Lemma 6**: for a pair of players at full-space
+/// distance `dist`, their distance restricted to a rate-`r` sample
+/// concentrates around `r · dist`. Returns restricted distances for the
+/// given pairs — used by experiment E4 to reproduce the separation between
+/// `< D` pairs (≤ 2 · c_sample ln n whp) and `≥ 3D` pairs (≥ (3/2) ·
+/// c_sample ln n · 3 whp).
+pub fn sample_distances(truth: &BitMatrix, sample: &[u32], pairs: &[(u32, u32)]) -> Vec<usize> {
+    pairs
+        .iter()
+        .map(|&(p, q)| {
+            let vp = truth.row(p as usize).project(sample);
+            let vq = truth.row(q as usize).project(sample);
+            vp.hamming(&vq)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_bitset::BitVec;
+    use byzscore_model::{Balance, Workload};
+
+    #[test]
+    fn sample_is_shared_and_deterministic() {
+        let b = Beacon::honest(9);
+        let s1 = choose_sample(&b, 256, 512, 64, 2.0);
+        let s2 = choose_sample(&b, 256, 512, 64, 2.0);
+        assert_eq!(s1, s2);
+        let s3 = choose_sample(&b, 256, 512, 128, 2.0);
+        assert_ne!(s1, s3, "different diameter, different tag, different set");
+    }
+
+    #[test]
+    fn rate_clamps_to_everything_for_small_d() {
+        let b = Beacon::honest(1);
+        let s = choose_sample(&b, 256, 100, 1, 2.0);
+        assert_eq!(s.len(), 100, "rate ≥ 1 must take every object");
+    }
+
+    #[test]
+    fn sample_size_concentrates() {
+        let b = Beacon::honest(3);
+        let n = 1024;
+        let d = 64;
+        let s = choose_sample(&b, n, n, d, 2.0);
+        let expected = 2.0 * (n as f64).ln() / d as f64 * n as f64;
+        assert!(
+            (s.len() as f64) > 0.5 * expected && (s.len() as f64) < 2.0 * expected,
+            "sample size {} vs expectation {expected:.0}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn lemma6_separation_holds_empirically() {
+        // Pairs at distance D vs pairs at distance ≥ 3D must separate on
+        // the sample, whp.
+        let n = 512;
+        let d = 32;
+        let inst = Workload::PlantedClusters {
+            players: n,
+            objects: n,
+            clusters: 8,
+            diameter: d,
+            balance: Balance::Even,
+        }
+        .generate(17);
+        let beacon = Beacon::honest(23);
+        let sample = choose_sample(&beacon, n, n, d, 4.0);
+        let planted = inst.planted().unwrap();
+
+        // Close pairs: same cluster. Far pairs: different clusters
+        // (random centers ⇒ distance ≈ n/2 ≫ 3D).
+        let close: Vec<(u32, u32)> = planted.clusters[0]
+            .windows(2)
+            .map(|w| (w[0], w[1]))
+            .take(20)
+            .collect();
+        let far: Vec<(u32, u32)> = planted.clusters[0]
+            .iter()
+            .zip(&planted.clusters[1])
+            .map(|(&a, &b)| (a, b))
+            .take(20)
+            .collect();
+
+        let close_d = sample_distances(inst.truth(), &sample, &close);
+        let far_d = sample_distances(inst.truth(), &sample, &far);
+        let worst_close = close_d.iter().max().copied().unwrap();
+        let best_far = far_d.iter().min().copied().unwrap();
+        assert!(
+            worst_close < best_far,
+            "sample failed to separate: close max {worst_close} ≥ far min {best_far}"
+        );
+    }
+
+    #[test]
+    fn sample_distances_exact_on_trivial_sample() {
+        let rows = vec![
+            BitVec::from_bools(&[true, false, true, false]),
+            BitVec::from_bools(&[false, false, true, true]),
+        ];
+        let truth = BitMatrix::from_rows(&rows);
+        let all: Vec<u32> = (0..4).collect();
+        let d = sample_distances(&truth, &all, &[(0, 1)]);
+        assert_eq!(d, vec![2]);
+        let restricted = sample_distances(&truth, &[2, 3], &[(0, 1)]);
+        assert_eq!(restricted, vec![1]);
+    }
+}

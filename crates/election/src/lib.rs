@@ -1,0 +1,33 @@
+//! Feige's lightest-bin leader election under rushing adversaries (§7.1).
+//!
+//! `CalculatePreferences` needs shared random bits that the dishonest
+//! players cannot bias. The paper (following Feige \[10\]) elects a leader
+//! who publishes the bits; if the election returns an honest leader with
+//! constant probability, then Θ(log n) independent repetitions produce at
+//! least one honest beacon with high probability, and `RSelect` picks the
+//! resulting good candidate at the end.
+//!
+//! The protocol is the classic *lightest-bin* game: all surviving players
+//! simultaneously throw a ball into one of `b` bins; the players in the
+//! lightest non-empty bin survive to the next round; repeat until one player
+//! remains. "The key principle … is that the lightest bin will have
+//! approximately the same fraction of honest players as the original set;
+//! the dishonest players cannot bias the fraction … too much, as if they
+//! disproportionately join the lightest bin, it will cease to be the
+//! lightest" (§7.1).
+//!
+//! We implement the **full-information, rushing** adversary: in every round
+//! the dishonest players observe all honest bin choices *before* making
+//! their own, and may coordinate. Several bin strategies of increasing
+//! nastiness are provided; experiment E10 measures the honest-win
+//! probability against each and compares its decay with the paper's
+//! Ω(δ^1.65) reference curve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod protocol;
+mod strategies;
+
+pub use protocol::{elect, ElectionOutcome, ElectionParams};
+pub use strategies::{BinStrategy, FollowCrowd, GreedyInfiltrate, HonestLike, StallForcer};

@@ -1,0 +1,237 @@
+//! The lightest-bin election protocol.
+
+use byzscore_random::{derive_seed, tags};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BinStrategy;
+
+/// Election configuration.
+#[derive(Clone, Debug)]
+pub struct ElectionParams {
+    /// Bins per round (2 = classic recursive halving).
+    pub bins: usize,
+    /// Round cap before the deterministic fallback fires. Stalls are
+    /// adversarially possible (see [`StallForcer`](crate::StallForcer)), so
+    /// termination needs a cap; `4·log₂(n) + 16` is generous.
+    pub max_rounds: usize,
+}
+
+impl ElectionParams {
+    /// Defaults for an `n`-player election.
+    pub fn for_players(n: usize) -> Self {
+        ElectionParams {
+            bins: 2,
+            max_rounds: 4 * (usize::BITS - n.max(2).leading_zeros()) as usize + 16,
+        }
+    }
+}
+
+/// Result of one election run.
+#[derive(Clone, Debug)]
+pub struct ElectionOutcome {
+    /// The elected leader.
+    pub leader: u32,
+    /// Whether the leader is honest (what §7.1's argument is about).
+    pub leader_honest: bool,
+    /// Rounds played (including stalled rounds).
+    pub rounds: usize,
+    /// True if the round cap fired and the lowest-index fallback decided.
+    pub stalled: bool,
+}
+
+/// Run one lightest-bin election over players `0..dishonest.len()`.
+///
+/// Honest players draw bins from private per-player streams derived from
+/// `seed`; the coordinated dishonest players are *rushing* — each round
+/// `adversary` observes the complete honest histogram before placing every
+/// dishonest ball. The lightest non-empty bin survives (ties break to the
+/// lowest bin index, the standard full-information convention). If the
+/// survivor set stops shrinking for [`ElectionParams::max_rounds`] rounds
+/// total, the lowest-index survivor wins — a deterministic fallback that is
+/// *adversary-favourable*, so measured honest-win rates are conservative.
+pub fn elect(
+    dishonest: &[bool],
+    adversary: &dyn BinStrategy,
+    params: &ElectionParams,
+    seed: u64,
+) -> ElectionOutcome {
+    let n = dishonest.len();
+    assert!(n >= 1, "need at least one player");
+    assert!(params.bins >= 2, "need at least two bins");
+
+    let mut survivors: Vec<u32> = (0..n as u32).collect();
+    let mut adv_rng = SmallRng::seed_from_u64(derive_seed(seed, &[tags::ELECTION, 0xdead]));
+    let mut rounds = 0usize;
+
+    while survivors.len() > 1 && rounds < params.max_rounds {
+        rounds += 1;
+        let bins = params.bins;
+
+        // Honest players choose privately and simultaneously.
+        let mut honest_counts = vec![0usize; bins];
+        let mut honest_choice: Vec<(u32, usize)> = Vec::new();
+        let mut dishonest_survivors: Vec<u32> = Vec::new();
+        for &p in &survivors {
+            if dishonest[p as usize] {
+                dishonest_survivors.push(p);
+            } else {
+                let mut r = SmallRng::seed_from_u64(derive_seed(
+                    seed,
+                    &[tags::ELECTION, tags::PLAYER, u64::from(p), rounds as u64],
+                ));
+                let b = r.gen_range(0..bins);
+                honest_counts[b] += 1;
+                honest_choice.push((p, b));
+            }
+        }
+
+        // Rushing adversary sees the honest histogram, then places balls.
+        let adv_picks = adversary.choose(
+            rounds,
+            &honest_counts,
+            dishonest_survivors.len(),
+            &mut adv_rng,
+        );
+        assert_eq!(
+            adv_picks.len(),
+            dishonest_survivors.len(),
+            "strategy must place every dishonest ball"
+        );
+
+        let mut totals = honest_counts.clone();
+        for &b in &adv_picks {
+            assert!(b < bins, "strategy chose bin {b} of {bins}");
+            totals[b] += 1;
+        }
+
+        // Lightest non-empty bin; ties break to the lowest index.
+        let winner = totals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .min_by_key(|&(b, &c)| (c, b))
+            .map(|(b, _)| b)
+            .expect("some bin is non-empty");
+
+        let mut next: Vec<u32> = honest_choice
+            .iter()
+            .filter(|&&(_, b)| b == winner)
+            .map(|&(p, _)| p)
+            .collect();
+        next.extend(
+            dishonest_survivors
+                .iter()
+                .zip(&adv_picks)
+                .filter(|&(_, &b)| b == winner)
+                .map(|(&p, _)| p),
+        );
+        next.sort_unstable();
+        debug_assert!(!next.is_empty());
+        survivors = next;
+    }
+
+    let stalled = survivors.len() > 1;
+    let leader = survivors[0]; // single survivor, or lowest-index fallback
+    ElectionOutcome {
+        leader,
+        leader_honest: !dishonest[leader as usize],
+        rounds,
+        stalled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FollowCrowd, GreedyInfiltrate, HonestLike, StallForcer};
+
+    fn run_many(
+        n: usize,
+        n_dishonest: usize,
+        adversary: &dyn BinStrategy,
+        trials: usize,
+    ) -> (usize, usize) {
+        // Dishonest get the LOW indices: worst case for the lowest-index
+        // fallback.
+        let dishonest: Vec<bool> = (0..n).map(|p| p < n_dishonest).collect();
+        let params = ElectionParams::for_players(n);
+        let mut honest_wins = 0;
+        let mut stalls = 0;
+        for t in 0..trials {
+            let out = elect(&dishonest, adversary, &params, t as u64);
+            if out.leader_honest {
+                honest_wins += 1;
+            }
+            if out.stalled {
+                stalls += 1;
+            }
+        }
+        (honest_wins, stalls)
+    }
+
+    #[test]
+    fn all_honest_always_elects_honest() {
+        let (wins, _) = run_many(33, 0, &HonestLike, 40);
+        assert_eq!(wins, 40);
+    }
+
+    #[test]
+    fn all_dishonest_never_elects_honest() {
+        let (wins, _) = run_many(16, 16, &HonestLike, 20);
+        assert_eq!(wins, 0);
+    }
+
+    #[test]
+    fn single_player_trivial() {
+        let out = elect(&[false], &HonestLike, &ElectionParams::for_players(1), 7);
+        assert_eq!(out.leader, 0);
+        assert!(out.leader_honest);
+        assert_eq!(out.rounds, 0);
+        assert!(!out.stalled);
+    }
+
+    #[test]
+    fn outcome_deterministic_in_seed() {
+        let dishonest: Vec<bool> = (0..64).map(|p| p % 7 == 0).collect();
+        let params = ElectionParams::for_players(64);
+        let a = elect(&dishonest, &GreedyInfiltrate, &params, 11);
+        let b = elect(&dishonest, &GreedyInfiltrate, &params, 11);
+        assert_eq!(a.leader, b.leader);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn honest_majority_usually_wins_against_naive_adversaries() {
+        // 1/8 dishonest: honest should win clearly more than half the time
+        // against the self-defeating FollowCrowd.
+        let (wins, _) = run_many(64, 8, &FollowCrowd, 60);
+        assert!(wins > 30, "honest wins {wins}/60");
+    }
+
+    #[test]
+    fn greedy_adversary_does_not_always_win_with_small_fraction() {
+        let (wins, _) = run_many(96, 8, &GreedyInfiltrate, 60);
+        // Ω(δ^1.65) with δ ≈ 0.9: expect a healthy honest win rate.
+        assert!(wins > 20, "honest wins {wins}/60");
+    }
+
+    #[test]
+    fn stall_forcer_terminates_via_cap() {
+        let (_, stalls) = run_many(32, 16, &StallForcer, 20);
+        // The stall strategy may trigger the cap; the run must terminate
+        // either way (reaching here is the assertion).
+        let _ = stalls;
+    }
+
+    #[test]
+    fn elections_shrink_to_one_without_adversary() {
+        let dishonest = vec![false; 128];
+        let params = ElectionParams::for_players(128);
+        for s in 0..10 {
+            let out = elect(&dishonest, &HonestLike, &params, s);
+            assert!(!out.stalled, "honest-only elections should not stall");
+            assert!(out.rounds <= params.max_rounds);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Adversarial bin-choice strategies for the lightest-bin game.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How the coordinated dishonest players choose bins in one round.
+///
+/// The adversary is *rushing*: it sees `honest_counts` (how many honest
+/// survivors chose each bin this round) before choosing, and places all of
+/// its `survivors` balls at once.
+pub trait BinStrategy: Sync {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Bin for each of the `survivors` dishonest players still in the game.
+    ///
+    /// `honest_counts[b]` is the number of honest balls in bin `b`. The
+    /// returned vector must have length `survivors` with entries in
+    /// `0..honest_counts.len()`.
+    fn choose(
+        &self,
+        round: usize,
+        honest_counts: &[usize],
+        survivors: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<usize>;
+}
+
+/// Control: dishonest players pick uniformly at random, like honest ones.
+pub struct HonestLike;
+
+impl BinStrategy for HonestLike {
+    fn name(&self) -> &'static str {
+        "honest-like"
+    }
+
+    fn choose(
+        &self,
+        _round: usize,
+        honest_counts: &[usize],
+        survivors: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<usize> {
+        (0..survivors)
+            .map(|_| rng.gen_range(0..honest_counts.len()))
+            .collect()
+    }
+}
+
+/// Everybody piles into the bin with the fewest honest balls.
+///
+/// Naive: often overloads that bin so it stops being lightest — the exact
+/// self-defeating behaviour the paper's "key principle" describes.
+pub struct FollowCrowd;
+
+impl BinStrategy for FollowCrowd {
+    fn name(&self) -> &'static str {
+        "follow-lightest"
+    }
+
+    fn choose(
+        &self,
+        _round: usize,
+        honest_counts: &[usize],
+        survivors: usize,
+        _rng: &mut SmallRng,
+    ) -> Vec<usize> {
+        let lightest = argmin(honest_counts);
+        vec![lightest; survivors]
+    }
+}
+
+/// Greedy optimal-ish infiltration.
+///
+/// Joins the bin with the fewest honest balls with as many dishonest
+/// players as possible *while keeping it strictly lightest*; sacrifices the
+/// rest into the currently heaviest bin. This maximizes the dishonest
+/// fraction among survivors round by round.
+pub struct GreedyInfiltrate;
+
+impl BinStrategy for GreedyInfiltrate {
+    fn name(&self) -> &'static str {
+        "greedy-infiltrate"
+    }
+
+    fn choose(
+        &self,
+        _round: usize,
+        honest_counts: &[usize],
+        survivors: usize,
+        _rng: &mut SmallRng,
+    ) -> Vec<usize> {
+        let target = argmin(honest_counts);
+        // Second-lightest honest load determines how much room we have.
+        let mut others: Vec<usize> = honest_counts
+            .iter()
+            .enumerate()
+            .filter(|&(b, _)| b != target)
+            .map(|(_, &c)| c)
+            .collect();
+        others.sort_unstable();
+        let runner_up = others.first().copied().unwrap_or(usize::MAX);
+        // Keep target strictly lighter than the runner-up if possible;
+        // if the honest split is tied, still send one infiltrator (ties
+        // break toward low bin indices, which may or may not be us).
+        let room = runner_up
+            .saturating_sub(honest_counts[target])
+            .saturating_sub(1);
+        let join = room.min(survivors).max(usize::from(survivors > 0));
+        let dump = argmax(honest_counts);
+        let mut picks = vec![dump; survivors];
+        for slot in picks.iter_mut().take(join) {
+            *slot = target;
+        }
+        picks
+    }
+}
+
+/// Tries to freeze the game: all dishonest players join the bin the honest
+/// majority chose, hoping to make every other bin empty so the survivor set
+/// never shrinks. Probes the protocol's stall handling.
+pub struct StallForcer;
+
+impl BinStrategy for StallForcer {
+    fn name(&self) -> &'static str {
+        "stall-forcer"
+    }
+
+    fn choose(
+        &self,
+        _round: usize,
+        honest_counts: &[usize],
+        survivors: usize,
+        _rng: &mut SmallRng,
+    ) -> Vec<usize> {
+        vec![argmax(honest_counts); survivors]
+    }
+}
+
+fn argmin(xs: &[usize]) -> usize {
+    xs.iter()
+        .enumerate()
+        .min_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn argmax(xs: &[usize]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn honest_like_in_range() {
+        let picks = HonestLike.choose(0, &[3, 5], 10, &mut rng());
+        assert_eq!(picks.len(), 10);
+        assert!(picks.iter().all(|&b| b < 2));
+    }
+
+    #[test]
+    fn follow_crowd_targets_lightest() {
+        let picks = FollowCrowd.choose(0, &[7, 2, 5], 4, &mut rng());
+        assert_eq!(picks, vec![1; 4]);
+    }
+
+    #[test]
+    fn greedy_respects_room() {
+        // Honest: bin0=2, bin1=6. Room = 6-2-1 = 3 infiltrators.
+        let picks = GreedyInfiltrate.choose(0, &[2, 6], 5, &mut rng());
+        let joined = picks.iter().filter(|&&b| b == 0).count();
+        assert_eq!(joined, 3, "must keep bin 0 strictly lightest");
+        // Sacrifices land in the heaviest bin.
+        assert!(picks.iter().filter(|&&b| b == 1).count() == 2);
+    }
+
+    #[test]
+    fn greedy_sends_at_least_one_on_tie() {
+        let picks = GreedyInfiltrate.choose(0, &[4, 4], 3, &mut rng());
+        assert!(picks.contains(&0), "one infiltrator even when tied");
+    }
+
+    #[test]
+    fn greedy_zero_survivors() {
+        assert!(GreedyInfiltrate
+            .choose(0, &[1, 2], 0, &mut rng())
+            .is_empty());
+    }
+
+    #[test]
+    fn stall_forcer_joins_majority() {
+        let picks = StallForcer.choose(0, &[1, 9], 2, &mut rng());
+        assert_eq!(picks, vec![1, 1]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Strongly typed player and object identifiers.
+
+/// Identifier of a player (a row of the preference matrix).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PlayerId(pub u32);
+
+/// Identifier of an object (a column of the preference matrix).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjectId(pub u32);
+
+impl PlayerId {
+    /// The player's row index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ObjectId {
+    /// The object's column index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for PlayerId {
+    fn from(v: u32) -> Self {
+        PlayerId(v)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl std::fmt::Display for PlayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(PlayerId(7).to_string(), "p7");
+        assert_eq!(ObjectId(3).to_string(), "o3");
+        assert_eq!(PlayerId(7).index(), 7);
+        assert_eq!(ObjectId::from(3u32), ObjectId(3));
+        assert_eq!(PlayerId::from(9u32), PlayerId(9));
+    }
+}

@@ -1,0 +1,587 @@
+//! Workload generators for every preference family the paper reasons about.
+
+#[cfg(test)]
+use byzscore_bitset::Bits;
+use byzscore_bitset::{BitMatrix, BitVec};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Instance, Planted};
+
+/// How planted cluster sizes are distributed.
+#[derive(Clone, Debug)]
+pub enum Balance {
+    /// All clusters the same size (±1).
+    Even,
+    /// Zipf-like skew with exponent `s`: cluster `i` gets weight `1/(i+1)^s`.
+    Zipf(f64),
+    /// Explicit sizes; must sum to the player count.
+    Sizes(Vec<usize>),
+}
+
+/// A generative family of preference matrices.
+///
+/// Each variant corresponds to a distribution family the paper quantifies
+/// over; see the crate docs for the mapping to claims.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Every preference uniformly random: no correlation, collaboration
+    /// cannot help (paper §1: "if the preferences are entirely independent,
+    /// then collaboration provides no benefit").
+    UniformRandom {
+        /// Number of players.
+        players: usize,
+        /// Number of objects.
+        objects: usize,
+    },
+
+    /// `clusters` groups, each grown from a random center; each member is
+    /// the center with at most `diameter/2` random flips, so intra-cluster
+    /// pairwise distance is at most `diameter`. This is the structure
+    /// assumed by Definition 1 / Lemma 12: every player sits in a set of
+    /// size ≥ players/clusters with diameter ≤ `diameter`.
+    PlantedClusters {
+        /// Number of players.
+        players: usize,
+        /// Number of objects.
+        objects: usize,
+        /// Number of clusters (≥ 1).
+        clusters: usize,
+        /// Target intra-cluster diameter `D`.
+        diameter: usize,
+        /// Cluster-size distribution.
+        balance: Balance,
+    },
+
+    /// Exact clone classes: members are *identical* to their center — the
+    /// zero-radius regime of Theorem 4.
+    CloneClasses {
+        /// Number of players.
+        players: usize,
+        /// Number of objects.
+        objects: usize,
+        /// Number of classes.
+        classes: usize,
+        /// Cluster-size distribution.
+        balance: Balance,
+    },
+
+    /// Clusters with binomial noise: each member flips every center bit
+    /// independently with probability `flip_prob` (expected pairwise
+    /// distance `2·flip_prob·objects·(1−flip_prob)` — concentration rather
+    /// than hard diameter).
+    NoisyClones {
+        /// Number of players.
+        players: usize,
+        /// Number of objects.
+        objects: usize,
+        /// Number of clusters.
+        clusters: usize,
+        /// Per-bit flip probability in `[0, 0.5]`.
+        flip_prob: f64,
+    },
+
+    /// The exact adversarial distribution of **Claim 2** (the lower bound):
+    /// one special cluster `P` of size `players/budget_b` shares a base
+    /// vector except on a hidden special set `S` of `diameter` objects where
+    /// each member is random; everyone outside `P` is fully random. No
+    /// `budget_b`-budget algorithm can predict members' preferences on `S`,
+    /// forcing error ≥ `diameter/4`.
+    LowerBound {
+        /// Number of players.
+        players: usize,
+        /// Number of objects.
+        objects: usize,
+        /// The budget `B` of Claim 2; the planted cluster has `players/B`
+        /// members.
+        budget_b: usize,
+        /// `D`: size of the special object set. Claim 2 needs
+        /// `players/4 > D > 2B`.
+        diameter: usize,
+    },
+
+    /// Two perfectly anti-correlated camps: camp 1 is the complement of
+    /// camp 0 (a worst case for naive global majority voting, easy for
+    /// clustering).
+    Anticorrelated {
+        /// Number of players.
+        players: usize,
+        /// Number of objects.
+        objects: usize,
+    },
+}
+
+impl Workload {
+    /// Number of players in the generated instance.
+    pub fn players(&self) -> usize {
+        match *self {
+            Workload::UniformRandom { players, .. }
+            | Workload::PlantedClusters { players, .. }
+            | Workload::CloneClasses { players, .. }
+            | Workload::NoisyClones { players, .. }
+            | Workload::LowerBound { players, .. }
+            | Workload::Anticorrelated { players, .. } => players,
+        }
+    }
+
+    /// Number of objects in the generated instance.
+    pub fn objects(&self) -> usize {
+        match *self {
+            Workload::UniformRandom { objects, .. }
+            | Workload::PlantedClusters { objects, .. }
+            | Workload::CloneClasses { objects, .. }
+            | Workload::NoisyClones { objects, .. }
+            | Workload::LowerBound { objects, .. }
+            | Workload::Anticorrelated { objects, .. } => objects,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::UniformRandom { .. } => "uniform".into(),
+            Workload::PlantedClusters {
+                clusters, diameter, ..
+            } => {
+                format!("planted(k={clusters},D={diameter})")
+            }
+            Workload::CloneClasses { classes, .. } => format!("clones(k={classes})"),
+            Workload::NoisyClones {
+                clusters,
+                flip_prob,
+                ..
+            } => {
+                format!("noisy(k={clusters},q={flip_prob})")
+            }
+            Workload::LowerBound {
+                budget_b, diameter, ..
+            } => {
+                format!("lowerbound(B={budget_b},D={diameter})")
+            }
+            Workload::Anticorrelated { .. } => "anticorrelated".into(),
+        }
+    }
+
+    /// Generate an instance deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let label = self.label();
+        match self.clone() {
+            Workload::UniformRandom { players, objects } => {
+                let truth = BitMatrix::random(&mut rng, players, objects);
+                Instance::new(truth, None, label, seed)
+            }
+
+            Workload::PlantedClusters {
+                players,
+                objects,
+                clusters,
+                diameter,
+                balance,
+            } => {
+                let sizes = cluster_sizes(players, clusters, &balance);
+                let (truth, planted) =
+                    grow_clusters(&mut rng, players, objects, &sizes, |rng, center| {
+                        let mut v = center.clone();
+                        let k = rng.gen_range(0..=diameter / 2);
+                        v.flip_random_distinct(rng, k.min(objects));
+                        v
+                    });
+                let planted = Planted {
+                    target_diameter: diameter,
+                    ..planted
+                };
+                Instance::new(truth, Some(planted), label, seed)
+            }
+
+            Workload::CloneClasses {
+                players,
+                objects,
+                classes,
+                balance,
+            } => {
+                let sizes = cluster_sizes(players, classes, &balance);
+                let (truth, planted) =
+                    grow_clusters(&mut rng, players, objects, &sizes, |_, center| {
+                        center.clone()
+                    });
+                Instance::new(truth, Some(planted), label, seed)
+            }
+
+            Workload::NoisyClones {
+                players,
+                objects,
+                clusters,
+                flip_prob,
+            } => {
+                assert!((0.0..=0.5).contains(&flip_prob), "flip_prob in [0, 0.5]");
+                let sizes = cluster_sizes(players, clusters, &Balance::Even);
+                let (truth, planted) =
+                    grow_clusters(&mut rng, players, objects, &sizes, |rng, center| {
+                        let mut v = center.clone();
+                        for i in 0..objects {
+                            if rng.gen_bool(flip_prob) {
+                                v.flip(i);
+                            }
+                        }
+                        v
+                    });
+                // Binomial tails: pairwise distance concentrates below
+                // 2·q·(1−q)·m + slack; record a high-probability bound.
+                let mean = 2.0 * flip_prob * (1.0 - flip_prob) * objects as f64;
+                let slack = 4.0 * mean.max(1.0).sqrt() * (players.max(2) as f64).ln().sqrt();
+                let planted = Planted {
+                    target_diameter: (mean + slack).ceil() as usize,
+                    ..planted
+                };
+                Instance::new(truth, Some(planted), label, seed)
+            }
+
+            Workload::LowerBound {
+                players,
+                objects,
+                budget_b,
+                diameter,
+            } => {
+                assert!(budget_b >= 1, "budget must be ≥ 1");
+                let cluster_size = (players / budget_b).max(2);
+                let mut truth = BitMatrix::random(&mut rng, players, objects);
+                // Special set S of `diameter` distinct objects.
+                let mut all: Vec<u32> = (0..objects as u32).collect();
+                all.shuffle(&mut rng);
+                let mut special: Vec<u32> = all[..diameter.min(objects)].to_vec();
+                special.sort_unstable();
+                // Planted cluster = players 0..cluster_size, sharing a base
+                // vector off S; independent uniform on S (already random).
+                let base = BitVec::random(&mut rng, objects);
+                for p in 0..cluster_size {
+                    let mut row = base.clone();
+                    for &s in &special {
+                        row.set(s as usize, rng.gen_bool(0.5));
+                    }
+                    truth.set_row(p, &row);
+                }
+                let planted = Planted {
+                    assignment: (0..players as u32)
+                        .map(|p| if (p as usize) < cluster_size { 0 } else { 1 })
+                        .collect(),
+                    clusters: vec![
+                        (0..cluster_size as u32).collect(),
+                        (cluster_size as u32..players as u32).collect(),
+                    ],
+                    centers: vec![base, BitVec::zeros(objects)],
+                    target_diameter: diameter,
+                    special_objects: Some(special),
+                };
+                Instance::new(truth, Some(planted), label, seed)
+            }
+
+            Workload::Anticorrelated { players, objects } => {
+                let center = BitVec::random(&mut rng, objects);
+                let anti = center.complement();
+                let half = players / 2;
+                let rows: Vec<BitVec> = (0..players)
+                    .map(|p| {
+                        if p < half {
+                            center.clone()
+                        } else {
+                            anti.clone()
+                        }
+                    })
+                    .collect();
+                let truth = BitMatrix::from_rows(&rows);
+                let planted = Planted {
+                    assignment: (0..players as u32)
+                        .map(|p| u32::from((p as usize) >= half))
+                        .collect(),
+                    clusters: vec![
+                        (0..half as u32).collect(),
+                        (half as u32..players as u32).collect(),
+                    ],
+                    centers: vec![center, anti],
+                    target_diameter: 0,
+                    special_objects: None,
+                };
+                Instance::new(truth, Some(planted), label, seed)
+            }
+        }
+    }
+}
+
+/// Split `players` into `clusters` sizes according to `balance`.
+fn cluster_sizes(players: usize, clusters: usize, balance: &Balance) -> Vec<usize> {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(players >= clusters, "need at least one player per cluster");
+    match balance {
+        Balance::Even => {
+            let base = players / clusters;
+            let extra = players % clusters;
+            (0..clusters)
+                .map(|i| base + usize::from(i < extra))
+                .collect()
+        }
+        Balance::Zipf(s) => {
+            let weights: Vec<f64> = (0..clusters)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(*s))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            // Give every cluster at least one player, distribute the rest
+            // proportionally, then fix rounding drift.
+            let mut sizes: Vec<usize> = weights
+                .iter()
+                .map(|w| (((players - clusters) as f64) * w / total).floor() as usize + 1)
+                .collect();
+            let mut assigned: usize = sizes.iter().sum();
+            let mut i = 0;
+            while assigned < players {
+                sizes[i % clusters] += 1;
+                assigned += 1;
+                i += 1;
+            }
+            while assigned > players {
+                let j = sizes.iter().enumerate().max_by_key(|(_, s)| **s).unwrap().0;
+                sizes[j] -= 1;
+                assigned -= 1;
+            }
+            sizes
+        }
+        Balance::Sizes(sizes) => {
+            assert_eq!(
+                sizes.iter().sum::<usize>(),
+                players,
+                "explicit sizes must sum to player count"
+            );
+            sizes.clone()
+        }
+    }
+}
+
+/// Grow clusters from random centers; `member_of` maps (rng, center) to one
+/// member vector. Returns the truth matrix and planted bookkeeping
+/// (with `target_diameter` left 0 for the caller to fill).
+fn grow_clusters(
+    rng: &mut SmallRng,
+    players: usize,
+    objects: usize,
+    sizes: &[usize],
+    mut member_of: impl FnMut(&mut SmallRng, &BitVec) -> BitVec,
+) -> (BitMatrix, Planted) {
+    let mut truth = BitMatrix::zeros(players, objects);
+    let mut assignment = vec![0u32; players];
+    let mut clusters = Vec::with_capacity(sizes.len());
+    let mut centers = Vec::with_capacity(sizes.len());
+
+    // Random player permutation so cluster membership is not index-correlated.
+    let mut order: Vec<u32> = (0..players as u32).collect();
+    order.shuffle(rng);
+
+    let mut cursor = 0;
+    for (c, &size) in sizes.iter().enumerate() {
+        let center = BitVec::random(rng, objects);
+        let mut members: Vec<u32> = order[cursor..cursor + size].to_vec();
+        members.sort_unstable();
+        cursor += size;
+        for &p in &members {
+            let row = member_of(rng, &center);
+            truth.set_row(p as usize, &row);
+            assignment[p as usize] = c as u32;
+        }
+        clusters.push(members);
+        centers.push(center);
+    }
+    debug_assert_eq!(cursor, players);
+
+    (
+        truth,
+        Planted {
+            assignment,
+            clusters,
+            centers,
+            target_diameter: 0,
+            special_objects: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_shape() {
+        let inst = Workload::UniformRandom {
+            players: 10,
+            objects: 20,
+        }
+        .generate(1);
+        assert_eq!(inst.players(), 10);
+        assert_eq!(inst.objects(), 20);
+        assert!(inst.planted().is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = Workload::PlantedClusters {
+            players: 32,
+            objects: 64,
+            clusters: 4,
+            diameter: 6,
+            balance: Balance::Even,
+        };
+        let a = w.generate(99);
+        let b = w.generate(99);
+        assert_eq!(a.truth(), b.truth());
+        let c = w.generate(100);
+        assert_ne!(a.truth(), c.truth());
+    }
+
+    #[test]
+    fn planted_clusters_respect_diameter() {
+        let w = Workload::PlantedClusters {
+            players: 48,
+            objects: 256,
+            clusters: 4,
+            diameter: 10,
+            balance: Balance::Even,
+        };
+        let inst = w.generate(7);
+        let planted = inst.planted().unwrap();
+        assert_eq!(planted.clusters.len(), 4);
+        for c in 0..4 {
+            let diam = inst.truth().diameter_of(&planted.clusters[c]);
+            assert!(diam <= 10, "cluster {c} diameter {diam} > 10");
+        }
+        // Every player assigned exactly once.
+        let total: usize = planted.clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 48);
+    }
+
+    #[test]
+    fn clone_classes_are_identical() {
+        let w = Workload::CloneClasses {
+            players: 30,
+            objects: 100,
+            classes: 3,
+            balance: Balance::Even,
+        };
+        let inst = w.generate(3);
+        let planted = inst.planted().unwrap();
+        for (c, members) in planted.clusters.iter().enumerate() {
+            for &m in members {
+                assert_eq!(
+                    inst.truth().row(m as usize).hamming(&planted.centers[c]),
+                    0,
+                    "member {m} differs from its center"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_structure() {
+        let w = Workload::LowerBound {
+            players: 64,
+            objects: 64,
+            budget_b: 8,
+            diameter: 12,
+        };
+        let inst = w.generate(11);
+        let planted = inst.planted().unwrap();
+        let special = planted.special_objects.as_ref().unwrap();
+        assert_eq!(special.len(), 12);
+        let cluster = &planted.clusters[0];
+        assert_eq!(cluster.len(), 8); // players / budget_b
+                                      // Members agree with the base off S.
+        let base = &planted.centers[0];
+        let special_set: std::collections::HashSet<u32> = special.iter().copied().collect();
+        for &m in cluster {
+            let row = inst.truth().row(m as usize);
+            for o in 0..inst.objects() {
+                if !special_set.contains(&(o as u32)) {
+                    assert_eq!(row.get(o), base.get(o), "player {m} object {o}");
+                }
+            }
+        }
+        // Diameter of the planted cluster is at most |S|.
+        assert!(inst.truth().diameter_of(cluster) <= 12);
+    }
+
+    #[test]
+    fn anticorrelated_camps() {
+        let inst = Workload::Anticorrelated {
+            players: 10,
+            objects: 40,
+        }
+        .generate(5);
+        let t = inst.truth();
+        assert_eq!(t.row_distance(0, 4), 0);
+        assert_eq!(t.row_distance(0, 5), 40);
+        assert_eq!(t.row_distance(5, 9), 0);
+    }
+
+    #[test]
+    fn noisy_clones_within_bound() {
+        let w = Workload::NoisyClones {
+            players: 40,
+            objects: 400,
+            clusters: 4,
+            flip_prob: 0.02,
+        };
+        let inst = w.generate(13);
+        let planted = inst.planted().unwrap();
+        for members in &planted.clusters {
+            let diam = inst.truth().diameter_of(members);
+            assert!(
+                diam <= planted.target_diameter,
+                "diameter {diam} > recorded bound {}",
+                planted.target_diameter
+            );
+        }
+    }
+
+    #[test]
+    fn even_sizes() {
+        assert_eq!(cluster_sizes(10, 3, &Balance::Even), vec![4, 3, 3]);
+        assert_eq!(cluster_sizes(9, 3, &Balance::Even), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn explicit_sizes() {
+        assert_eq!(
+            cluster_sizes(10, 3, &Balance::Sizes(vec![5, 3, 2])),
+            vec![5, 3, 2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to player count")]
+    fn bad_explicit_sizes_panic() {
+        cluster_sizes(10, 2, &Balance::Sizes(vec![5, 4]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_zipf_sizes_sum(players in 4usize..200, clusters in 1usize..8, s in 0.1f64..3.0) {
+            prop_assume!(players >= clusters);
+            let sizes = cluster_sizes(players, clusters, &Balance::Zipf(s));
+            prop_assert_eq!(sizes.iter().sum::<usize>(), players);
+            prop_assert!(sizes.iter().all(|&x| x >= 1));
+            prop_assert_eq!(sizes.len(), clusters);
+        }
+
+        #[test]
+        fn prop_planted_assignment_consistent(seed in 0u64..50) {
+            let w = Workload::PlantedClusters {
+                players: 24, objects: 48, clusters: 3, diameter: 4,
+                balance: Balance::Even,
+            };
+            let inst = w.generate(seed);
+            let planted = inst.planted().unwrap();
+            for (p, &c) in planted.assignment.iter().enumerate() {
+                prop_assert!(planted.clusters[c as usize].contains(&(p as u32)));
+            }
+        }
+    }
+}

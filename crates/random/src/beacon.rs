@@ -1,0 +1,131 @@
+//! The shared-randomness beacon: modeled leader-published bits.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::derive_seed;
+
+/// Who supplied the beacon's bits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Provenance {
+    /// An honest leader: bits are uniform and independent of the adversary.
+    Honest,
+    /// A dishonest leader: bits were chosen by the adversary (the seed may
+    /// have been searched to harm the protocol). §7.1 tolerates this by
+    /// repeating the election Θ(log n) times and selecting with `RSelect`.
+    Dishonest,
+}
+
+/// A source of shared random bits, standing in for the random string a
+/// leader writes to the bulletin board (paper §7.1).
+///
+/// All honest players hold the same `Beacon` and derive identical
+/// purpose-tagged sub-streams from it.
+#[derive(Clone, Debug)]
+pub struct Beacon {
+    seed: u64,
+    provenance: Provenance,
+}
+
+impl Beacon {
+    /// Beacon published by an honest leader.
+    pub fn honest(seed: u64) -> Self {
+        Beacon {
+            seed,
+            provenance: Provenance::Honest,
+        }
+    }
+
+    /// Beacon published by a dishonest leader who chose `seed` adversarially.
+    pub fn dishonest(seed: u64) -> Self {
+        Beacon {
+            seed,
+            provenance: Provenance::Dishonest,
+        }
+    }
+
+    /// Provenance of the bits.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// Raw seed (exposed for adversaries that inspect published bits; honest
+    /// code uses [`Beacon::sub_rng`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive the sub-stream for a purpose identified by `tags`.
+    ///
+    /// Honest players calling with equal tags get identical streams — this
+    /// is how "the same partition is chosen by all players" (`ZeroRadius`
+    /// step 2) is realized.
+    pub fn sub_rng(&self, tags: &[u64]) -> SmallRng {
+        SmallRng::seed_from_u64(derive_seed(self.seed, tags))
+    }
+
+    /// Derive a child beacon for a nested protocol scope (e.g. one diameter
+    /// guess iteration), preserving provenance.
+    pub fn child(&self, tags: &[u64]) -> Beacon {
+        Beacon {
+            seed: derive_seed(self.seed, tags),
+            provenance: self.provenance,
+        }
+    }
+}
+
+/// Well-known purpose tags so call sites cannot collide by accident.
+pub mod tags {
+    /// Sample-set selection (`CalculatePreferences` step 1.b).
+    pub const SAMPLE: u64 = 0x5a4d;
+    /// `ZeroRadius` player/object halving (step 2).
+    pub const ZR_PARTITION: u64 = 0x2b90;
+    /// `SmallRadius` object partition (step 1).
+    pub const SR_PARTITION: u64 = 0x51c3;
+    /// Work-sharing probe assignment (step 1.e).
+    pub const ASSIGN: u64 = 0xa51e;
+    /// Leader-election bin choices.
+    pub const ELECTION: u64 = 0xe1ec;
+    /// Per-player private stream derivation.
+    pub const PLAYER: u64 = 0x91a7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn equal_tags_equal_streams() {
+        let b = Beacon::honest(5);
+        let x: u64 = b.sub_rng(&[tags::SAMPLE, 3]).gen();
+        let y: u64 = b.sub_rng(&[tags::SAMPLE, 3]).gen();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn different_tags_differ() {
+        let b = Beacon::honest(5);
+        let x: u64 = b.sub_rng(&[tags::SAMPLE, 3]).gen();
+        let y: u64 = b.sub_rng(&[tags::SAMPLE, 4]).gen();
+        let z: u64 = b.sub_rng(&[tags::ASSIGN, 3]).gen();
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn child_preserves_provenance() {
+        let h = Beacon::honest(1).child(&[7]);
+        let d = Beacon::dishonest(1).child(&[7]);
+        assert_eq!(h.provenance(), Provenance::Honest);
+        assert_eq!(d.provenance(), Provenance::Dishonest);
+        // Same seed + same tags ⇒ same derived seed, independent of provenance.
+        assert_eq!(h.seed(), d.seed());
+    }
+
+    #[test]
+    fn children_with_distinct_tags_are_independent() {
+        let b = Beacon::honest(9);
+        assert_ne!(b.child(&[0]).seed(), b.child(&[1]).seed());
+    }
+}

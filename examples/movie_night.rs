@@ -1,0 +1,78 @@
+//! Collaborative filtering flavor: a community predicting personal movie
+//! ratings (like/dislike) from a shared pool of partial ratings —
+//! exercising workloads beyond clean planted clusters: Zipf-skewed taste
+//! groups, binomial noise, and the structure-free worst case.
+//!
+//! ```text
+//! cargo run -p byzscore-examples --release --example movie_night
+//! ```
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_model::{Balance, Workload};
+
+fn main() {
+    let people = 150;
+    let movies = 450;
+
+    let worlds = vec![
+        (
+            "five Zipf taste groups, D=12",
+            Workload::PlantedClusters {
+                players: people,
+                objects: movies,
+                clusters: 5,
+                diameter: 12,
+                balance: Balance::Zipf(1.0),
+            },
+        ),
+        (
+            "noisy clones (2% per-movie noise)",
+            Workload::NoisyClones {
+                players: people,
+                objects: movies,
+                clusters: 5,
+                flip_prob: 0.02,
+            },
+        ),
+        (
+            "two warring camps (anticorrelated)",
+            Workload::Anticorrelated {
+                players: people,
+                objects: movies,
+            },
+        ),
+        (
+            "no structure at all (uniform random)",
+            Workload::UniformRandom {
+                players: people,
+                objects: movies,
+            },
+        ),
+    ];
+
+    // Budget must respect the smallest taste group: Definition 1 needs a
+    // cluster of ≥ n/B like-minded people around everyone. Zipf(1.0) over 5
+    // groups leaves the smallest with ~13 of 150 members, so B = 12.
+    let params = ProtocolParams::with_budget(12);
+    println!("== movie night: {people} people, {movies} movies, budget B=12 ==\n");
+
+    for (label, workload) in worlds {
+        let instance = workload.generate(4242);
+        let outcome =
+            ScoringSystem::new(&instance, params.clone()).run(Algorithm::CalculatePreferences, 5);
+        let per_person = movies as f64;
+        println!(
+            "{label:>38}: worst {:>3} wrong ({:>4.1}%), mean {:>6.2}, probes ≤ {}",
+            outcome.errors.max,
+            100.0 * outcome.errors.max as f64 / per_person,
+            outcome.errors.mean,
+            outcome.max_honest_probes,
+        );
+    }
+
+    println!(
+        "\nWith structure the protocol recovers preferences almost exactly; \
+         with none (uniform random) no algorithm can help — §1's observation \
+         that collaboration only pays when tastes correlate."
+    );
+}

@@ -1,0 +1,70 @@
+//! The paper's motivating scenario (§1): a program committee where every
+//! reviewer wants an opinion on *every* submission, but nobody can read
+//! them all — and some reviewers are too busy to really read anything,
+//! submitting effectively random scores.
+//!
+//! 60 reviewers, 300 submissions, three taste "schools" (theory, systems,
+//! ML) with mild intra-school disagreement. Six overloaded reviewers score
+//! at random. We compare everyone-for-themselves against the collaborative
+//! protocol.
+//!
+//! ```text
+//! cargo run -p byzscore-examples --release --example program_committee
+//! ```
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_adversary::{Corruption, RandomLiar};
+use byzscore_model::{Balance, Workload};
+
+fn main() {
+    let reviewers = 60;
+    let submissions = 300;
+
+    let instance = Workload::PlantedClusters {
+        players: reviewers,
+        objects: submissions,
+        clusters: 3,                 // three schools of taste
+        diameter: 10,                // mild intra-school disagreement
+        balance: Balance::Zipf(0.7), // theory school is the biggest, of course
+    }
+    .generate(1337);
+
+    // Busy reviewers: they "read" by coin flip.
+    let busy = RandomLiar { flip_prob: 0.5 };
+    let corruption = Corruption::Count { count: 6 };
+
+    // The smallest school (Zipf tail) has ~13 members, so the budget must
+    // satisfy n/B ≤ 13: B = 5 ⇒ clusters of ≥ 12 are enough.
+    let params = ProtocolParams::with_budget(5);
+    println!("== PC meeting: {reviewers} reviewers, {submissions} submissions, 6 busy ==\n");
+
+    for alg in [
+        Algorithm::Solo,
+        Algorithm::GlobalMajority,
+        Algorithm::CalculatePreferences,
+        Algorithm::Robust,
+    ] {
+        let outcome = ScoringSystem::new(&instance, params.clone())
+            .with_adversary(corruption.clone(), &busy)
+            .run(alg, 99);
+        println!(
+            "{:>24}: worst reviewer is wrong on {:>3} of {} submissions \
+             (mean {:>6.2}), reading {:>5} papers max",
+            outcome.algorithm,
+            outcome.errors.max,
+            submissions,
+            outcome.errors.mean,
+            outcome.max_honest_probes,
+        );
+    }
+
+    println!(
+        "\nAt committee scale the polylog constants eat the probe savings \
+         (that advantage is asymptotic — see experiment E6), but the accuracy \
+         gap is dramatic: solo reading {budget} papers or trusting the global \
+         majority leaves ~100 wrong opinions per reviewer, while the \
+         collaborative protocol is wrong on a handful — with the six busy \
+         reviewers simply out-voted.",
+        budget = 5 * (60f64.ln().ceil() as usize),
+    );
+}

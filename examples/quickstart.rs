@@ -1,0 +1,58 @@
+//! Quickstart: run the full collaborative-scoring pipeline on a planted
+//! world and inspect the outcome.
+//!
+//! ```text
+//! cargo run -p byzscore-examples --release --example quickstart
+//! ```
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_model::metrics::opt_bounds;
+use byzscore_model::{Balance, Workload};
+
+fn main() {
+    // A world of 128 players and 384 objects whose tastes form 4 hidden
+    // clusters of Hamming diameter 8.
+    let instance = Workload::PlantedClusters {
+        players: 128,
+        objects: 384,
+        clusters: 4,
+        diameter: 8,
+        balance: Balance::Even,
+    }
+    .generate(2024);
+
+    // Budget B = 4: every player is happy to evaluate ~B·polylog(n) objects,
+    // and expects a cluster of ≥ n/B = 32 like-minded players to exist.
+    let params = ProtocolParams::with_budget(4);
+    let system = ScoringSystem::new(&instance, params);
+
+    println!(
+        "running CalculatePreferences (Figure 2) on {} players…",
+        instance.players()
+    );
+    let outcome = system.run(Algorithm::CalculatePreferences, 7);
+
+    println!("\n== outcome ==");
+    println!("max error   : {} (planted D = 8)", outcome.errors.max);
+    println!("mean error  : {:.2}", outcome.errors.mean);
+    println!("p95 error   : {}", outcome.errors.p95);
+    println!("max probes  : {} per player", outcome.max_honest_probes);
+    println!(
+        "board posts : {} vectors, {} claims",
+        outcome.board.vector_posts, outcome.board.claim_posts
+    );
+    println!("wall time   : {:?}", outcome.elapsed);
+
+    // How close is that to the best any B-budget algorithm could do
+    // (Definition 1)? Sandwich OPT per player and report the ratio.
+    let bounds = opt_bounds(instance.truth(), 128 / 4);
+    let worst_ub = bounds.upper.iter().max().unwrap();
+    println!("\nOPT upper bound (worst player): {worst_ub}");
+    println!(
+        "approximation vs OPT-ub       : {:.2}×",
+        outcome.errors.max as f64 / (*worst_ub).max(1) as f64
+    );
+
+    assert!(outcome.errors.max <= 5 * 8, "error should be O(D)");
+    println!("\nquickstart OK");
+}

@@ -1,0 +1,1 @@
+//! Examples package; binaries live in the package root.

@@ -1,0 +1,103 @@
+//! Byzantine showcase: a colluding clique tries four different attacks on
+//! the scoring system, including hijacking a victim's cluster and rigging
+//! the shared randomness through the leader election — the exact threats
+//! §7 defends against.
+//!
+//! ```text
+//! cargo run -p byzscore-examples --release --example sybil_attack
+//! ```
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_adversary::{AntiMajority, ClusterHijacker, Corruption, Inverter, Sleeper, Strategy};
+use byzscore_election::{GreedyInfiltrate, StallForcer};
+use byzscore_model::{Balance, Workload};
+
+fn main() {
+    let n = 120;
+    let m = 360;
+    let budget = 4;
+    let d = 8;
+
+    let instance = Workload::PlantedClusters {
+        players: n,
+        objects: m,
+        clusters: 4,
+        diameter: d,
+        balance: Balance::Even,
+    }
+    .generate(13);
+
+    let threshold = Corruption::paper_threshold(n, budget);
+    println!("== sybil attack lab: n={n}, m={m}, B={budget}, D={d} ==");
+    println!("paper tolerance: n/(3B) = {threshold} dishonest players\n");
+
+    let victim = instance.planted().unwrap().clusters[0][0];
+    let hijacker = ClusterHijacker { victim };
+    let attacks: Vec<(&str, &dyn Strategy, Corruption)> = vec![
+        (
+            "inverters (random seats)",
+            &Inverter,
+            Corruption::Count { count: threshold },
+        ),
+        (
+            "anti-majority colluders",
+            &AntiMajority,
+            Corruption::Count { count: threshold },
+        ),
+        (
+            "sleeper agents",
+            &Sleeper,
+            Corruption::Count { count: threshold },
+        ),
+        (
+            "cluster hijack on one victim",
+            &hijacker,
+            Corruption::InCluster {
+                cluster: 0,
+                count: threshold / 2,
+            },
+        ),
+    ];
+
+    let params = ProtocolParams::with_budget(budget);
+    for (label, strategy, corruption) in attacks {
+        let outcome = ScoringSystem::new(&instance, params.clone())
+            .with_adversary(corruption, strategy)
+            .with_election_adversary(&GreedyInfiltrate)
+            .run(Algorithm::Robust, 71);
+        let honest_leaders = outcome
+            .repetitions
+            .iter()
+            .filter(|r| r.leader_honest)
+            .count();
+        println!(
+            "{label:>30}: worst honest error {:>3} (mean {:>5.2}); \
+             {honest_leaders}/{} elections returned honest leaders",
+            outcome.errors.max,
+            outcome.errors.mean,
+            outcome.repetitions.len(),
+        );
+    }
+
+    // And the election-stalling adversary, for completeness.
+    let outcome = ScoringSystem::new(&instance, params.clone())
+        .with_adversary(Corruption::Count { count: threshold }, &Inverter)
+        .with_election_adversary(&StallForcer)
+        .run(Algorithm::Robust, 73);
+    println!(
+        "{:>30}: worst honest error {:>3} (stalled elections: {})",
+        "inverters + election staller",
+        outcome.errors.max,
+        outcome
+            .repetitions
+            .iter()
+            .filter(|r| r.election_rounds >= 40)
+            .count(),
+    );
+
+    println!(
+        "\nEvery attack stays within the O(D) error envelope — the victim's \
+         cluster out-votes its infiltrators and bad leaders are discarded by \
+         the final RSelect, exactly as Theorem 14 promises."
+    );
+}

@@ -1,0 +1,141 @@
+//! Byzantine integration: Theorem 14's tolerance across strategies,
+//! corruption levels, and the election-based robust wrapper.
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_adversary::{
+    AntiMajority, ClusterHijacker, Corruption, Inverter, RandomLiar, Sleeper, Strategy,
+};
+use byzscore_election::{GreedyInfiltrate, StallForcer};
+use byzscore_model::{Balance, Instance, Workload};
+
+fn world(d: usize, seed: u64) -> Instance {
+    Workload::PlantedClusters {
+        players: 120,
+        objects: 240,
+        clusters: 4,
+        diameter: d,
+        balance: Balance::Even,
+    }
+    .generate(seed)
+}
+
+const D: usize = 8;
+const BUDGET: usize = 4;
+
+fn run_attack(strategy: &dyn Strategy, count: usize, seed: u64) -> usize {
+    let inst = world(D, seed);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
+        .with_adversary(Corruption::Count { count }, strategy)
+        .run(Algorithm::CalculatePreferences, seed + 100);
+    out.errors.max
+}
+
+#[test]
+fn inverters_at_threshold_tolerated() {
+    let threshold = Corruption::paper_threshold(120, BUDGET); // 10
+    let err = run_attack(&Inverter, threshold, 1);
+    assert!(err <= 6 * D, "inverters at threshold: error {err}");
+}
+
+#[test]
+fn anti_majority_at_threshold_tolerated() {
+    let threshold = Corruption::paper_threshold(120, BUDGET);
+    let err = run_attack(&AntiMajority, threshold, 2);
+    assert!(err <= 8 * D, "anti-majority at threshold: error {err}");
+}
+
+#[test]
+fn random_liars_at_threshold_tolerated() {
+    let threshold = Corruption::paper_threshold(120, BUDGET);
+    let liar = RandomLiar { flip_prob: 0.5 };
+    let err = run_attack(&liar, threshold, 3);
+    assert!(err <= 6 * D, "random liars at threshold: error {err}");
+}
+
+#[test]
+fn sleepers_at_threshold_tolerated() {
+    let threshold = Corruption::paper_threshold(120, BUDGET);
+    let err = run_attack(&Sleeper, threshold, 4);
+    assert!(err <= 6 * D, "sleepers at threshold: error {err}");
+}
+
+#[test]
+fn far_beyond_threshold_degrades() {
+    // 4× the tolerance: the guarantee is void; verify the experiment can
+    // actually distinguish the regimes (error grows well past O(D)).
+    let threshold = Corruption::paper_threshold(120, BUDGET);
+    let small = run_attack(&AntiMajority, threshold / 2, 5);
+    let large = run_attack(&AntiMajority, 4 * threshold, 5);
+    assert!(
+        large > small,
+        "4× threshold ({large}) should beat half threshold ({small})"
+    );
+    assert!(large > 2 * D, "4× threshold barely hurt: {large}");
+}
+
+#[test]
+fn hijackers_below_cluster_third_tolerated() {
+    let inst = world(D, 6);
+    let victim = inst.planted().unwrap().clusters[0][0];
+    let strategy = ClusterHijacker { victim };
+    // Cluster size 30; 7 hijackers < 1/3 of the cluster.
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
+        .with_adversary(
+            Corruption::InCluster {
+                cluster: 0,
+                count: 7,
+            },
+            &strategy,
+        )
+        .run(Algorithm::CalculatePreferences, 7);
+    assert!(
+        out.errors.max <= 8 * D,
+        "hijack below 1/3 of cluster: error {}",
+        out.errors.max
+    );
+}
+
+#[test]
+fn robust_mode_survives_election_attacks() {
+    let inst = world(D, 8);
+    let threshold = Corruption::paper_threshold(120, BUDGET);
+    for (name, election_adv) in [
+        (
+            "greedy",
+            &GreedyInfiltrate as &dyn byzscore_election::BinStrategy,
+        ),
+        ("stall", &StallForcer),
+    ] {
+        let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
+            .with_adversary(Corruption::Count { count: threshold }, &Inverter)
+            .with_election_adversary(election_adv)
+            .run(Algorithm::Robust, 9);
+        assert!(
+            out.errors.max <= 6 * D,
+            "robust under {name} election adversary: error {}",
+            out.errors.max
+        );
+        assert!(!out.repetitions.is_empty());
+    }
+}
+
+#[test]
+fn dishonest_players_are_excluded_from_guarantees() {
+    let inst = world(D, 10);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
+        .with_adversary(Corruption::Count { count: 10 }, &Inverter)
+        .run(Algorithm::CalculatePreferences, 11);
+    assert_eq!(out.errors.evaluated, 110, "only honest players evaluated");
+    assert_eq!(out.dishonest_count, 10);
+}
+
+#[test]
+fn zero_corruption_equals_corruption_none() {
+    let inst = world(D, 12);
+    let a = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
+        .run(Algorithm::CalculatePreferences, 13);
+    let b = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
+        .with_adversary(Corruption::Count { count: 0 }, &Inverter)
+        .run(Algorithm::CalculatePreferences, 13);
+    assert_eq!(a.output, b.output, "empty corruption must be a no-op");
+}

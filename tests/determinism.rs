@@ -1,0 +1,112 @@
+//! Reproducibility: every run is a pure function of (instance seed, master
+//! seed), independent of thread scheduling — the property all experiment
+//! tables rely on.
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_adversary::{Corruption, Inverter};
+use byzscore_election::{elect, ElectionParams, GreedyInfiltrate};
+use byzscore_model::{Balance, Workload};
+
+fn world(seed: u64) -> byzscore_model::Instance {
+    Workload::PlantedClusters {
+        players: 96,
+        objects: 192,
+        clusters: 4,
+        diameter: 6,
+        balance: Balance::Even,
+    }
+    .generate(seed)
+}
+
+#[test]
+fn calculate_preferences_is_deterministic() {
+    let inst = world(1);
+    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let a = sys.run(Algorithm::CalculatePreferences, 42);
+    let b = sys.run(Algorithm::CalculatePreferences, 42);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.probes.counts(), b.probes.counts());
+    assert_eq!(a.board.claim_posts, b.board.claim_posts);
+}
+
+#[test]
+fn robust_mode_is_deterministic() {
+    let inst = world(2);
+    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let a = sys.run(Algorithm::Robust, 43);
+    let b = sys.run(Algorithm::Robust, 43);
+    assert_eq!(a.output, b.output);
+    let leaders_a: Vec<u32> = a.repetitions.iter().map(|r| r.leader).collect();
+    let leaders_b: Vec<u32> = b.repetitions.iter().map(|r| r.leader).collect();
+    assert_eq!(leaders_a, leaders_b);
+}
+
+#[test]
+fn byzantine_runs_are_deterministic() {
+    let inst = world(3);
+    let run = || {
+        ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+            .with_adversary(Corruption::Count { count: 8 }, &Inverter)
+            .run(Algorithm::CalculatePreferences, 44)
+    };
+    assert_eq!(run().output, run().output);
+}
+
+#[test]
+fn different_seeds_differ() {
+    // The memoized oracle saturates on small worlds (every player ends up
+    // evaluating most objects once), so per-player counts can coincide
+    // across seeds. Seed sensitivity is asserted where it lives: the shared
+    // randomness. Distinct master seeds must yield distinct samples and
+    // distinct probe assignments.
+    use byzscore::sampling::choose_sample;
+    use byzscore_random::Beacon;
+    let s1 = choose_sample(&Beacon::honest(1), 96, 192, 16, 2.0);
+    let s2 = choose_sample(&Beacon::honest(2), 96, 192, 16, 2.0);
+    assert_ne!(s1, s2, "distinct seeds must give distinct samples");
+
+    // And the protocol outputs remain a pure function of the seed.
+    let inst = world(4);
+    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let a = sys.run(Algorithm::CalculatePreferences, 1);
+    let a2 = sys.run(Algorithm::CalculatePreferences, 1);
+    assert_eq!(a.output, a2.output);
+}
+
+#[test]
+fn baselines_are_deterministic() {
+    let inst = world(5);
+    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    for alg in [
+        Algorithm::NaiveSampling,
+        Algorithm::Solo,
+        Algorithm::GlobalMajority,
+        Algorithm::OracleClusters,
+    ] {
+        let a = sys.run(alg, 45);
+        let b = sys.run(alg, 45);
+        assert_eq!(a.output, b.output, "{} not deterministic", alg.name());
+    }
+}
+
+#[test]
+fn elections_are_deterministic_and_seed_sensitive() {
+    let dishonest: Vec<bool> = (0..128).map(|p| p % 4 == 0).collect();
+    let params = ElectionParams::for_players(128);
+    let a = elect(&dishonest, &GreedyInfiltrate, &params, 7);
+    let b = elect(&dishonest, &GreedyInfiltrate, &params, 7);
+    assert_eq!(a.leader, b.leader);
+    let different =
+        (0..32).any(|s| elect(&dishonest, &GreedyInfiltrate, &params, s).leader != a.leader);
+    assert!(different, "leader should vary across seeds");
+}
+
+#[test]
+fn workload_generation_is_deterministic() {
+    let a = world(6);
+    let b = world(6);
+    assert_eq!(a.truth(), b.truth());
+    let planted_a = a.planted().unwrap();
+    let planted_b = b.planted().unwrap();
+    assert_eq!(planted_a.assignment, planted_b.assignment);
+}

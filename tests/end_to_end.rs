@@ -1,0 +1,179 @@
+//! End-to-end integration: the full public API across crates, honest runs.
+
+use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore_model::metrics::{approx_ratios, opt_bounds};
+use byzscore_model::{Balance, Workload};
+
+#[test]
+fn planted_world_error_is_order_d() {
+    let d = 8;
+    let inst = Workload::PlantedClusters {
+        players: 128,
+        objects: 384,
+        clusters: 4,
+        diameter: d,
+        balance: Balance::Even,
+    }
+    .generate(1);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+        .run(Algorithm::CalculatePreferences, 2);
+    assert!(out.errors.max <= 5 * d, "error {} > 5D", out.errors.max);
+    assert!(out.errors.mean <= d as f64, "mean {} > D", out.errors.mean);
+}
+
+#[test]
+fn constant_factor_approximation_of_opt() {
+    let inst = Workload::PlantedClusters {
+        players: 96,
+        objects: 288,
+        clusters: 4,
+        diameter: 12,
+        balance: Balance::Even,
+    }
+    .generate(3);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+        .run(Algorithm::CalculatePreferences, 4);
+    let bounds = opt_bounds(inst.truth(), 96 / 4);
+    let (_, vs_upper) = approx_ratios(&out.errors.per_player, &bounds);
+    // Definition 1: a constant-factor approximation. 6 is a generous
+    // constant for laptop n; the paper proves only "some constant c".
+    assert!(
+        vs_upper <= 6.0,
+        "approximation ratio {vs_upper:.2} too large"
+    );
+}
+
+#[test]
+fn skewed_cluster_sizes_work() {
+    let inst = Workload::PlantedClusters {
+        players: 120,
+        objects: 360,
+        clusters: 4,
+        diameter: 6,
+        balance: Balance::Zipf(1.0),
+    }
+    .generate(5);
+    // Budget must match the *smallest* cluster; Zipf(1.0) over 4 clusters
+    // keeps every cluster ≥ players/8.
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(8))
+        .run(Algorithm::CalculatePreferences, 6);
+    assert!(out.errors.max <= 6 * 6, "zipf error {}", out.errors.max);
+}
+
+#[test]
+fn uniform_random_world_defeats_everyone() {
+    // §1: with independent preferences, collaboration cannot help. The
+    // protocol must stay total and sane, but errors are necessarily large.
+    let inst = Workload::UniformRandom {
+        players: 64,
+        objects: 128,
+    }
+    .generate(7);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+        .run(Algorithm::CalculatePreferences, 8);
+    assert_eq!(out.output.rows(), 64);
+    // Nobody can predict independent coin flips: expect ≈ m/2 errors for
+    // the worst player, certainly > m/5.
+    assert!(
+        out.errors.max as f64 > 128.0 / 5.0,
+        "implausibly good on random data: {}",
+        out.errors.max
+    );
+}
+
+#[test]
+fn anticorrelated_camps_are_separated() {
+    let inst = Workload::Anticorrelated {
+        players: 80,
+        objects: 240,
+    }
+    .generate(9);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(2))
+        .run(Algorithm::CalculatePreferences, 10);
+    // Exact camps: clustering should recover them and the majority is exact.
+    assert!(
+        out.errors.max <= 4,
+        "camps not separated: {}",
+        out.errors.max
+    );
+}
+
+#[test]
+fn more_objects_than_players_generalizes() {
+    // §2: "generalizing for more objects than players is straightforward".
+    let inst = Workload::PlantedClusters {
+        players: 64,
+        objects: 512,
+        clusters: 4,
+        diameter: 6,
+        balance: Balance::Even,
+    }
+    .generate(11);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+        .run(Algorithm::CalculatePreferences, 12);
+    assert_eq!(out.output.cols(), 512);
+    assert!(out.errors.max <= 6 * 6, "error {}", out.errors.max);
+}
+
+#[test]
+fn probe_budget_is_respected_loosely() {
+    // Lemma 11: O(B·polylog n) probes. Check against a concrete polylog
+    // envelope with a generous constant.
+    let n = 128usize;
+    let inst = Workload::PlantedClusters {
+        players: n,
+        objects: n,
+        clusters: 4,
+        diameter: 8,
+        balance: Balance::Even,
+    }
+    .generate(13);
+    let b = 4;
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(b))
+        .run(Algorithm::CalculatePreferences, 14);
+    let ln = (n as f64).ln();
+    let envelope = 40.0 * b as f64 * ln.powi(3);
+    assert!(
+        (out.max_honest_probes as f64) < envelope,
+        "probes {} above envelope {envelope:.0}",
+        out.max_honest_probes
+    );
+}
+
+#[test]
+fn paper_faithful_preset_runs() {
+    // The literal constants are huge; a tiny instance suffices to check the
+    // preset end to end.
+    let inst = Workload::CloneClasses {
+        players: 48,
+        objects: 48,
+        classes: 2,
+        balance: Balance::Even,
+    }
+    .generate(15);
+    let out = ScoringSystem::new(&inst, ProtocolParams::paper_faithful(2))
+        .run(Algorithm::CalculatePreferences, 16);
+    assert_eq!(out.output.rows(), 48);
+    // At n=48 the 220·ln n threshold exceeds the object count, so the
+    // graph is complete and the output degenerates to a 2-class majority —
+    // totality, not accuracy, is the contract at toy scale (DESIGN.md §4).
+}
+
+#[test]
+fn outcome_reports_are_consistent() {
+    let inst = Workload::CloneClasses {
+        players: 32,
+        objects: 64,
+        classes: 2,
+        balance: Balance::Even,
+    }
+    .generate(17);
+    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(2))
+        .run(Algorithm::CalculatePreferences, 18);
+    assert_eq!(out.errors.per_player.len(), 32);
+    assert_eq!(out.probes.counts().len(), 32);
+    assert!(out.max_honest_probes <= out.probes.max());
+    assert!(out.board.claim_posts > 0);
+    assert_eq!(out.dishonest_count, 0);
+    assert!(out.errors.p95 <= out.errors.max);
+}

@@ -1,0 +1,1 @@
+//! Integration-test package; tests live in the package root.
