@@ -1,0 +1,288 @@
+//! Offline shim implementing the subset of
+//! [`criterion`](https://crates.io/crates/criterion) that byzscore's
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery this shim runs a short
+//! warm-up, sizes the measurement loop to a time target, and reports the
+//! median of a few batches in ns/iter (plus MB/s when a byte throughput
+//! is declared). When invoked with `--test` (as `cargo test` does for
+//! bench targets) every benchmark body runs exactly once so benches act
+//! as smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to derive throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    /// Measured nanoseconds per iteration (median of batches).
+    ns_per_iter: f64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    /// `--test`: run the body once, skip timing.
+    Smoke,
+}
+
+impl Bencher {
+    /// Measure `f`, called in a loop; the timing excludes loop setup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm up and estimate the cost of one call.
+        let warmup_start = Instant::now();
+        let mut calls = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(f());
+            calls += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / calls as f64).max(1.0);
+        // Size batches to ~40ms each, 5 batches, report the median.
+        let per_batch = ((40.0e6 / est_ns) as u64).clamp(1, 1 << 24);
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim's fixed batching
+    /// ignores the sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an input handle (the input is simply passed
+    /// through to the closure).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion
+            .run_one(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream renders summaries here; the shim prints
+    /// per-benchmark lines eagerly instead).
+    pub fn finish(self) {}
+}
+
+/// Conversion of the various id forms benches pass to `bench_*`.
+pub trait IntoLabel {
+    /// Render to the printed label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke { Mode::Smoke } else { Mode::Measure },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        self.run_one(&label, None, &mut f);
+        self
+    }
+
+    fn run_one(
+        &self,
+        label: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            mode: self.mode,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        if self.mode == Mode::Smoke {
+            println!("{label}: ok (smoke)");
+            return;
+        }
+        let ns = bencher.ns_per_iter;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if ns > 0.0 => {
+                format!("  ({:.1} MB/s)", b as f64 / ns * 1.0e9 / 1.0e6)
+            }
+            Some(Throughput::Elements(e)) if ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", e as f64 / ns * 1.0e9 / 1.0e6)
+            }
+            _ => String::new(),
+        };
+        println!("{label}: {ns:.0} ns/iter{rate}");
+    }
+}
+
+/// Bundle benchmark functions under one group name (upstream-compatible
+/// call shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("full", 1024).label, "full/1024");
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let criterion = Criterion { mode: Mode::Smoke };
+        let mut calls = 0;
+        criterion.run_one("t", None, &mut |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_body() {
+        let criterion = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut ran = false;
+        criterion.run_one("t", Some(Throughput::Bytes(8)), &mut |b| {
+            b.iter(|| std::hint::black_box(1u64 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

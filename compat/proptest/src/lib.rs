@@ -1,0 +1,260 @@
+//! Offline shim implementing the subset of
+//! [`proptest`](https://crates.io/crates/proptest) that byzscore's
+//! property tests use: the [`proptest!`] macro over functions whose
+//! arguments are drawn from integer/float **range strategies**, plus
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//! `prop_assume!` and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! * No shrinking and no failure persistence — a failing case panics with
+//!   the generated arguments in the message instead.
+//! * Case generation is **deterministic**: the RNG is seeded from the
+//!   test function's name, so failures reproduce exactly under plain
+//!   `cargo test` with no regression file.
+//! * Only range strategies (`lo..hi`, `lo..=hi`) are implemented because
+//!   those are the only strategies the workspace uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategy abstraction: anything a `proptest!` argument can be drawn from.
+pub mod strategy {
+    /// A value source for one macro argument.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+        /// Draw one value from `bits` (a fresh 64-bit random word per call).
+        fn sample(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let unit = (rng.next_u64() >> 11) as $t
+                        * (1.0 / (1u64 << 53) as $t);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_float!(f32, f64);
+}
+
+/// Runner configuration and the deterministic case RNG.
+pub mod test_runner {
+    /// Subset of upstream `ProptestConfig`: just the case count.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps whole-protocol properties
+            // fast while still exploring the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream seeded from the property name.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a property function's name (FNV-1a over the bytes).
+        pub fn for_property(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, span)` via widening multiply.
+        pub fn below(&mut self, span: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+    }
+}
+
+/// Everything the tests `use proptest::prelude::*;` for.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking) with the condition text.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Skip the current generated case when its precondition fails.
+///
+/// Expands to `continue` targeting the per-case loop the [`proptest!`]
+/// macro generates, so it is only meaningful directly inside a property
+/// body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministically generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_props! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_props! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_props {
+    (($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_property(stringify!($name));
+                for _case in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Range strategies stay in bounds and assumptions skip cases.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in 0u64..=5, f in 0.5f64..2.0) {
+            prop_assume!(a != 9);
+            prop_assert!((3..10).contains(&a) && a != 9);
+            prop_assert!(b <= 5);
+            prop_assert!((0.5..2.0).contains(&f));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(f, -1.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0i32..100) {
+            prop_assert!(x >= 0, "got {x}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_property("p");
+        let mut b = crate::test_runner::TestRng::for_property("p");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_property("q");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,4 +1,5 @@
-//! Experiment binary: see DESIGN.md §5. `BYZ_FULL=1` for the full sweep.
+//! Experiment binary: fixed to registry entry `a3` (see `run_all --list`).
+//! Accepts the shared engine flags: `--scale`, `--threads`, `--json`.
 fn main() {
-    byzscore_bench::experiments::a3_threshold(byzscore_bench::Scale::from_env());
+    byzscore_bench::cli::single_main("a3");
 }

@@ -1,38 +1,10 @@
-//! Regenerate every table of the evaluation (DESIGN.md §5) in one run.
-//! `BYZ_FULL=1` switches to the full sweeps recorded in EXPERIMENTS.md.
-
-use byzscore_bench::{experiments as e, Scale};
-
+//! The evaluation driver: run any subset of the experiment registry
+//! (DESIGN.md §5) with unified flags.
+//!
+//! ```text
+//! run_all --list
+//! run_all --only e07,e09 --scale full --threads 4 --json results.json
+//! ```
 fn main() {
-    let scale = Scale::from_env();
-    println!("# byzscore evaluation — scale: {scale:?}\n");
-    let start = std::time::Instant::now();
-    for (name, f) in [
-        (
-            "E1",
-            e::e01_rselect as fn(Scale) -> Vec<byzscore_bench::table::Table>,
-        ),
-        ("E2", e::e02_zero_radius),
-        ("E3", e::e03_small_radius),
-        ("E4", e::e04_sample_concentration),
-        ("E5", e::e05_clustering),
-        ("E6", e::e06_probe_complexity),
-        ("E7", e::e07_error_vs_d),
-        ("E8", e::e08_lower_bound),
-        ("E9", e::e09_byzantine),
-        ("E10", e::e10_election),
-        ("E11", e::e11_comparison),
-        ("E12", e::e12_budgets),
-        ("A1", e::a1_select),
-        ("A2", e::a2_votes),
-        ("A3", e::a3_threshold),
-    ] {
-        let t = std::time::Instant::now();
-        f(scale);
-        eprintln!("[{name}] done in {:.1}s", t.elapsed().as_secs_f64());
-    }
-    eprintln!(
-        "all experiments done in {:.1}s",
-        start.elapsed().as_secs_f64()
-    );
+    byzscore_bench::cli::run_all_main();
 }

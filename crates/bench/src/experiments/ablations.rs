@@ -61,7 +61,6 @@ pub fn a1_select(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    table.print();
     vec![table]
 }
 
@@ -112,7 +111,6 @@ pub fn a2_votes(scale: Scale) -> Vec<Table> {
         }
         table.row(vec![f2(denom), f2(mean(&wrongs)), f2(mean(&probes))]);
     }
-    table.print();
     vec![table]
 }
 
@@ -165,6 +163,5 @@ pub fn a3_threshold(scale: Scale) -> Vec<Table> {
             f2(mean(&probes)),
         ]);
     }
-    table.print();
     vec![table]
 }

@@ -72,7 +72,6 @@ pub fn e01_rselect(scale: Scale) -> Vec<Table> {
             f2(mean(&probes) / ((k * k) as f64 * ln_n)),
         ]);
     }
-    table.print();
     vec![table]
 }
 
@@ -126,7 +125,6 @@ pub fn e02_zero_radius(scale: Scale) -> Vec<Table> {
             f2(mean(&totals)),
         ]);
     }
-    table.print();
     vec![table]
 }
 
@@ -183,7 +181,6 @@ pub fn e03_small_radius(scale: Scale) -> Vec<Table> {
             f2(mean(&probes) / theorem_bound),
         ]);
     }
-    table.print();
     vec![table]
 }
 
@@ -248,6 +245,5 @@ pub fn e04_sample_concentration(scale: Scale) -> Vec<Table> {
             format!("{separated}/{trials}"),
         ]);
     }
-    table.print();
     vec![table]
 }

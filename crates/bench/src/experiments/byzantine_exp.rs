@@ -129,8 +129,6 @@ pub fn e09_byzantine(scale: Scale) -> Vec<Table> {
             f2(mean(&max_errs) / d as f64),
         ]);
     }
-    table.print();
-    hijack.print();
     vec![table, hijack]
 }
 
@@ -177,7 +175,6 @@ pub fn e10_election(scale: Scale) -> Vec<Table> {
         }
         table.row(cells);
     }
-    table.print();
 
     // Amplification: probability that r independent elections ALL return
     // dishonest leaders, at fraction 0.25 under the greedy adversary.
@@ -216,7 +213,6 @@ pub fn e10_election(scale: Scale) -> Vec<Table> {
             f3((1.0 - p_hat).powi(r as i32)),
         ]);
     }
-    amp.print();
     vec![table, amp]
 }
 
@@ -306,7 +302,5 @@ pub fn e11_comparison(scale: Scale) -> Vec<Table> {
             f2(mean(&b_ms)),
         ]);
     }
-    honest.print();
-    byz.print();
     vec![honest, byz]
 }

@@ -1,8 +1,10 @@
 //! One experiment per paper claim (DESIGN.md §5).
 //!
-//! Every function returns the tables it generated (after printing them), so
-//! `run_all` can regenerate the complete evaluation and EXPERIMENTS.md can
-//! quote the output verbatim.
+//! Every function builds and **returns** its tables without printing;
+//! rendering (markdown and/or `BENCH_*.json`) is the job of the
+//! [`crate::cli`] engine, driven by [`crate::registry::REGISTRY`]. That
+//! split is what lets `--json` emit clean artifacts and lets `run_all`
+//! regenerate the complete evaluation that EXPERIMENTS.md quotes.
 
 mod ablations;
 mod blocks_exp;

@@ -74,7 +74,6 @@ pub fn e05_clustering(scale: Scale) -> Vec<Table> {
             format!("{ok_runs}/{trials}"),
         ]);
     }
-    table.print();
     vec![table]
 }
 
@@ -120,11 +119,10 @@ pub fn e06_probe_complexity(scale: Scale) -> Vec<Table> {
             out.elapsed.as_millis().to_string(),
         ]);
     }
-    table.print();
-    println!(
+    table.note(format!(
         "log-log slope of max-honest-probes vs n: {:.3}  (≈0 ⇒ polylog; 1 ⇒ linear)",
         loglog_slope(&points)
-    );
+    ));
 
     // E6b: at default constants B·ln³n ≳ n for n ≤ 2¹⁰, so the memoized
     // per-player count saturates at m and the slope above reads ~1. With
@@ -167,11 +165,10 @@ pub fn e06_probe_complexity(scale: Scale) -> Vec<Table> {
             out.elapsed.as_millis().to_string(),
         ]);
     }
-    table_b.print();
-    println!(
+    table_b.note(format!(
         "log-log slope of E6b probes vs n: {:.3}  (<1 and falling ⇒ sublinear)",
         loglog_slope(&points_b)
-    );
+    ));
     vec![table, table_b]
 }
 
@@ -235,11 +232,10 @@ pub fn e07_error_vs_d(scale: Scale) -> Vec<Table> {
             f2(mean(&sky)),
         ]);
     }
-    table.print();
-    println!(
+    table.note(format!(
         "log-log slope of max-err vs D: {:.3}  (Lemma 12 predicts ≈1: error = O(D))",
         loglog_slope(&points)
-    );
+    ));
     vec![table]
 }
 
@@ -314,7 +310,6 @@ pub fn e08_lower_bound(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    table.print();
     vec![table]
 }
 
@@ -358,6 +353,5 @@ pub fn e12_budgets(scale: Scale) -> Vec<Table> {
             out.elapsed.as_millis().to_string(),
         ]);
     }
-    table.print();
     vec![table]
 }

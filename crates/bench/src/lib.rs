@@ -2,23 +2,36 @@
 //!
 //! The paper is a theory paper: its "evaluation" is a set of quantitative
 //! claims (theorems, lemmas, the Claim-2 lower bound, and the §1 comparison
-//! with prior art). Each claim has one experiment here — see DESIGN.md §5
-//! for the index — and each experiment is exposed both as a library
-//! function (so `run_all` can regenerate every table in one go) and as its
-//! own binary (`cargo run -p byzscore-bench --release --bin e07_error_vs_d`).
+//! with prior art). Each claim has one experiment here — declared once in
+//! the [`registry`] (see DESIGN.md §5 for the index) and driven by the
+//! unified [`cli`] engine:
+//!
+//! ```text
+//! cargo run -p byzscore-bench --release --bin run_all -- --list
+//! cargo run -p byzscore-bench --release --bin run_all -- --only e07,e09
+//! cargo run -p byzscore-bench --release --bin e07_error_vs_d
+//! ```
+//!
+//! Experiment runners are plain functions `fn(Scale) -> Vec<Table>`; they
+//! never print. The engine renders markdown to stdout and, with `--json`,
+//! serializes the same tables into `BENCH_*.json` artifacts so runs are
+//! diffable across commits.
 //!
 //! Scale: experiments default to a quick preset that finishes in seconds to
-//! a few minutes each; set `BYZ_FULL=1` for the larger sweeps recorded in
-//! EXPERIMENTS.md.
+//! a few minutes each; `--scale full` (or `BYZ_FULL=1`) selects the larger
+//! sweeps recorded in EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+pub mod registry;
 pub mod stats;
 pub mod table;
 
-/// Experiment scale, selected by the `BYZ_FULL` environment variable.
+/// Experiment scale, selected by `--scale` or the `BYZ_FULL` environment
+/// variable.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
     /// Seconds-scale smoke sizes.

@@ -1,11 +1,17 @@
-//! Minimal aligned-table printer (no external dependencies).
+//! Result tables: aligned markdown rendering plus JSON serialization (no
+//! external dependencies).
+//!
+//! Experiments build [`Table`]s and return them; the experiment engine
+//! ([`crate::cli`]) decides how to render — markdown to stdout for humans,
+//! `BENCH_*.json` artifacts for the perf trajectory and downstream tooling.
 
-/// A simple text table: collected rows, printed with aligned columns in
-/// GitHub-markdown-compatible form.
+/// A simple result table: title, column headers, string cells, and
+/// free-form note lines rendered after the table body.
 pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    notes: Vec<String>,
 }
 
 impl Table {
@@ -15,6 +21,7 @@ impl Table {
             title: title.into(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -22,6 +29,18 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(cells);
+    }
+
+    /// Append a note line, rendered after the table body and carried into
+    /// the JSON artifact (used for derived quantities such as log-log
+    /// slopes).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
     }
 
     /// Number of data rows so far.
@@ -34,7 +53,8 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Render to a string (markdown pipe table with aligned columns).
+    /// Render to a string (markdown pipe table with aligned columns,
+    /// followed by any notes).
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -58,6 +78,9 @@ impl Table {
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
         }
+        for note in &self.notes {
+            out.push_str(&format!("\n{note}\n"));
+        }
         out
     }
 
@@ -65,6 +88,52 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Serialize as a JSON object
+    /// `{"title": …, "headers": […], "rows": [[…]], "notes": […]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"title\":");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\"headers\":");
+        out.push_str(&json_string_array(&self.headers));
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push_str("],\"notes\":");
+        out.push_str(&json_string_array(&self.notes));
+        out.push('}');
+        out
+    }
+}
+
+/// Escape and quote one string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize a slice of strings as a JSON array of string literals.
+pub fn json_string_array<S: AsRef<str>>(items: &[S]) -> String {
+    let body: Vec<String> = items.iter().map(|s| json_string(s.as_ref())).collect();
+    format!("[{}]", body.join(","))
 }
 
 /// Format a float with 2 decimals.
@@ -92,6 +161,18 @@ mod tests {
         assert!(s.contains("| 100 |"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+        assert_eq!(t.title(), "demo");
+    }
+
+    #[test]
+    fn notes_render_after_body() {
+        let mut t = Table::new("n", &["a"]);
+        t.row(vec!["1".into()]);
+        t.note("slope ≈ 1.0");
+        let s = t.render();
+        let body_at = s.find("| 1 |").unwrap();
+        let note_at = s.find("slope ≈ 1.0").unwrap();
+        assert!(note_at > body_at);
     }
 
     #[test]
@@ -105,5 +186,24 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f2(1.005), "1.00");
         assert_eq!(f3(2.0 / 3.0), "0.667");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let mut t = Table::new("t\"1", &["h1", "h2"]);
+        t.row(vec!["a".into(), "b".into()]);
+        t.note("note");
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"t\\\"1\",\"headers\":[\"h1\",\"h2\"],\
+             \"rows\":[[\"a\",\"b\"]],\"notes\":[\"note\"]}"
+        );
     }
 }

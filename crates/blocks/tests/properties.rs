@@ -2,9 +2,7 @@
 
 use byzscore_adversary::Behaviors;
 use byzscore_bitset::{BitMatrix, BitVec, Bits};
-use byzscore_blocks::{
-    rselect, select_among, zero_radius, BlockParams, Ctx, VoteTally,
-};
+use byzscore_blocks::{rselect, select_among, zero_radius, BlockParams, Ctx, VoteTally};
 use byzscore_board::{Board, Oracle};
 use byzscore_random::Beacon;
 use proptest::prelude::*;

@@ -5,6 +5,36 @@
 //! Outputs are collected *by player index*, so results are bit-identical
 //! regardless of the number of worker threads — reproducibility is a
 //! property the experiments rely on (see `tests/determinism.rs`).
+//!
+//! The worker count defaults to all available cores and can be capped
+//! process-wide with [`set_thread_limit`] (plumbed from the bench CLI's
+//! `--threads` flag); the cap affects only speed, never results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide cap on workers per phase; 0 means "no cap" (use all
+/// available cores).
+static THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads used per parallel phase (`None`
+/// restores the default of all available cores).
+///
+/// The cap is global and takes effect for subsequently started phases;
+/// results are identical under any cap by construction. `Some(0)` is
+/// clamped to `Some(1)` (fully sequential) — zero is the internal
+/// "uncapped" sentinel and must not invert a caller's request for
+/// minimal parallelism.
+pub fn set_thread_limit(limit: Option<usize>) {
+    THREAD_LIMIT.store(limit.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The current cap set by [`set_thread_limit`], if any.
+pub fn thread_limit() -> Option<usize> {
+    match THREAD_LIMIT.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
 
 /// Apply `f` to every player index in `0..n`, in parallel, returning results
 /// in player order.
@@ -71,12 +101,11 @@ where
 fn threads_for(n: usize) -> usize {
     if n < 32 {
         // Tiny phases are faster sequentially than through thread spawn.
-        1
-    } else {
-        std::thread::available_parallelism()
-            .map_or(1, |v| v.get())
-            .min(n)
+        return 1;
     }
+    let cap = thread_limit()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get()));
+    cap.min(n).max(1)
 }
 
 #[cfg(test)]

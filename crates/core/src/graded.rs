@@ -138,7 +138,9 @@ impl GradeMatrix {
     pub fn l1_row_distance(&self, other: &GradeMatrix, player: usize) -> u64 {
         assert_eq!(self.objects, other.objects);
         (0..self.objects)
-            .map(|o| (i64::from(self.get(player, o)) - i64::from(other.get(player, o))).unsigned_abs())
+            .map(|o| {
+                (i64::from(self.get(player, o)) - i64::from(other.get(player, o))).unsigned_abs()
+            })
             .sum()
     }
 }
@@ -169,8 +171,10 @@ pub fn score_graded(
         .enumerate()
         .map(|(j, plane)| {
             let instance = Instance::new(plane.clone(), None, format!("plane{j}"), seed);
-            ScoringSystem::new(&instance, params.clone())
-                .run(algorithm, byzscore_random::derive_seed(seed, &[0x6e_ad, j as u64]))
+            ScoringSystem::new(&instance, params.clone()).run(
+                algorithm,
+                byzscore_random::derive_seed(seed, &[0x6e_ad, j as u64]),
+            )
         })
         .collect();
 

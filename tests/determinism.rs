@@ -102,6 +102,52 @@ fn elections_are_deterministic_and_seed_sensitive() {
 }
 
 #[test]
+fn results_are_identical_across_worker_thread_counts() {
+    // The engine's `--threads` override must never change results: a
+    // `Robust` run (elections + repetitions + RSelect, the maximal
+    // par_map_players consumer) has to be bit-identical under 1, 2, and 8
+    // worker threads. This is the regression fence for the par.rs
+    // invariant that outputs are collected by player index.
+    use byzscore_board::par::{par_map_players, set_thread_limit};
+
+    let inst = world(8);
+    let run = || {
+        ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+            .with_adversary(Corruption::Count { count: 8 }, &Inverter)
+            .run(Algorithm::Robust, 46)
+    };
+
+    let reference = run();
+    let ref_leaders: Vec<u32> = reference.repetitions.iter().map(|r| r.leader).collect();
+    let ref_direct = par_map_players(257, |p| p.wrapping_mul(0x9e37_79b9) ^ 0x5bd1);
+
+    for threads in [1usize, 2, 8] {
+        set_thread_limit(Some(threads));
+        let out = run();
+        assert_eq!(
+            out.output, reference.output,
+            "Robust output differs at {threads} worker thread(s)"
+        );
+        assert_eq!(
+            out.probes.counts(),
+            reference.probes.counts(),
+            "probe ledger differs at {threads} worker thread(s)"
+        );
+        let leaders: Vec<u32> = out.repetitions.iter().map(|r| r.leader).collect();
+        assert_eq!(
+            leaders, ref_leaders,
+            "election transcript differs at {threads} worker thread(s)"
+        );
+        assert_eq!(
+            par_map_players(257, |p| p.wrapping_mul(0x9e37_79b9) ^ 0x5bd1),
+            ref_direct,
+            "par_map_players order differs at {threads} worker thread(s)"
+        );
+    }
+    set_thread_limit(None);
+}
+
+#[test]
 fn workload_generation_is_deterministic() {
     let a = world(6);
     let b = world(6);
