@@ -2,7 +2,8 @@
 
 use std::sync::OnceLock;
 
-use byzscore_bitset::{BitMatrix, BitVec, Bits};
+use byzscore_bitset::BitVec;
+use byzscore_board::TruthSource;
 
 use crate::strategy::{AdvCtx, CollusionState, Phase, Strategy, Truthful};
 
@@ -14,9 +15,10 @@ static TRUTHFUL: Truthful = Truthful;
 /// truthfully. Whenever a *dishonest* player must post a bit or a vector,
 /// the runtime routes the request through [`Behaviors::bit_claim`] /
 /// [`Behaviors::vector_claim`], which consult the installed [`Strategy`]
-/// with full omniscient context.
+/// with full omniscient context. Truth access is through the
+/// [`TruthSource`] trait, so the table works over any substrate backend.
 pub struct Behaviors<'a> {
-    truth: &'a BitMatrix,
+    truth: &'a dyn TruthSource,
     dishonest: Vec<bool>,
     strategy: &'a dyn Strategy,
     collusion: CollusionState,
@@ -25,8 +27,12 @@ pub struct Behaviors<'a> {
 
 impl<'a> Behaviors<'a> {
     /// Table with the given dishonest mask and strategy.
-    pub fn new(truth: &'a BitMatrix, dishonest: Vec<bool>, strategy: &'a dyn Strategy) -> Self {
-        assert_eq!(dishonest.len(), truth.rows(), "mask covers all players");
+    pub fn new(
+        truth: &'a dyn TruthSource,
+        dishonest: Vec<bool>,
+        strategy: &'a dyn Strategy,
+    ) -> Self {
+        assert_eq!(dishonest.len(), truth.players(), "mask covers all players");
         Behaviors {
             truth,
             dishonest,
@@ -37,8 +43,8 @@ impl<'a> Behaviors<'a> {
     }
 
     /// Everybody honest.
-    pub fn all_honest(truth: &'a BitMatrix) -> Self {
-        Behaviors::new(truth, vec![false; truth.rows()], &TRUTHFUL)
+    pub fn all_honest(truth: &'a dyn TruthSource) -> Self {
+        Behaviors::new(truth, vec![false; truth.players()], &TRUTHFUL)
     }
 
     /// Is `player` dishonest?
@@ -85,7 +91,7 @@ impl<'a> Behaviors<'a> {
             self.is_dishonest(player),
             "bit_claim consulted for honest player {player}"
         );
-        let truth = self.truth.get(player as usize, object as usize);
+        let truth = self.truth.value(player, object);
         self.strategy
             .claim_bit(&self.ctx(), phase, player, object, truth)
     }
@@ -97,7 +103,7 @@ impl<'a> Behaviors<'a> {
             self.is_dishonest(player),
             "vector_claim consulted for honest player {player}"
         );
-        let truth = self.truth.row(player as usize).project(objects);
+        let truth = BitVec::from_fn(objects.len(), |k| self.truth.value(player, objects[k]));
         self.strategy
             .claim_vector(&self.ctx(), phase, player, objects, &truth)
     }
@@ -107,6 +113,7 @@ impl<'a> Behaviors<'a> {
 mod tests {
     use super::*;
     use crate::strategy::Inverter;
+    use byzscore_bitset::{BitMatrix, Bits};
 
     fn truth() -> BitMatrix {
         BitMatrix::from_rows(&[

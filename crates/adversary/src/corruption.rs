@@ -1,6 +1,6 @@
 //! Selecting the corrupted player set.
 
-use byzscore_model::Instance;
+use byzscore_model::{Instance, Planted};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -48,7 +48,14 @@ impl Corruption {
     /// Produce the dishonest mask for `instance`, deterministically from
     /// `seed`.
     pub fn select(&self, instance: &Instance, seed: u64) -> Vec<bool> {
-        let n = instance.players();
+        self.select_mask(instance.players(), instance.planted(), seed)
+    }
+
+    /// Produce the dishonest mask for a world of `n` players with optional
+    /// planted structure — the [`Instance`]-free entry point used by
+    /// sessions whose truth never materializes (procedural backends).
+    /// Bit-identical to [`Corruption::select`] for the same inputs.
+    pub fn select_mask(&self, n: usize, planted: Option<&Planted>, seed: u64) -> Vec<bool> {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xbad0_5eed_0000_0001);
         let mut mask = vec![false; n];
         match *self {
@@ -75,9 +82,7 @@ impl Corruption {
                 }
             }
             Corruption::InCluster { cluster, count } => {
-                let planted = instance
-                    .planted()
-                    .expect("InCluster corruption requires a planted instance");
+                let planted = planted.expect("InCluster corruption requires a planted instance");
                 let mut members: Vec<u32> =
                     planted.clusters.get(cluster).cloned().unwrap_or_default();
                 members.shuffle(&mut rng);

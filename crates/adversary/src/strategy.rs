@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use byzscore_bitset::{BitMatrix, BitVec, Bits, ColumnCounter};
+use byzscore_bitset::{BitVec, Bits, ColumnCounter};
+use byzscore_board::TruthSource;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -54,12 +55,14 @@ impl CollusionState {
 
 /// Read-only world view handed to strategies: the omniscient adversary.
 ///
-/// Dishonest players know the full truth matrix (strictly stronger than any
+/// Dishonest players know the full hidden truth (strictly stronger than any
 /// realizable adversary, hence a sound stress test) and who their fellow
-/// conspirators are.
+/// conspirators are. Truth access goes through the [`TruthSource`] trait,
+/// so the same strategies run against dense matrices and streaming
+/// procedural worlds alike.
 pub struct AdvCtx<'a> {
-    /// The hidden truth matrix.
-    pub truth: &'a BitMatrix,
+    /// The hidden truth.
+    pub truth: &'a dyn TruthSource,
     /// Dishonest mask over players.
     pub dishonest: &'a [bool],
     /// Collusion scratchpad.
@@ -72,7 +75,7 @@ pub struct AdvCtx<'a> {
 impl<'a> AdvCtx<'a> {
     /// New context.
     pub fn new(
-        truth: &'a BitMatrix,
+        truth: &'a dyn TruthSource,
         dishonest: &'a [bool],
         collusion: &'a CollusionState,
         majority_cell: &'a OnceLock<BitVec>,
@@ -90,10 +93,10 @@ impl<'a> AdvCtx<'a> {
     /// complement maximizes disagreement pressure.
     pub fn honest_majority(&self) -> &BitVec {
         self.majority_cell.get_or_init(|| {
-            let mut counter = ColumnCounter::new(self.truth.cols());
-            for p in 0..self.truth.rows() {
+            let mut counter = ColumnCounter::new(self.truth.objects());
+            for p in 0..self.truth.players() {
                 if !self.dishonest[p] {
-                    counter.add(&self.truth.row(p), 1);
+                    counter.add(&self.truth.row(p as u32), 1);
                 }
             }
             counter.majority(false)
@@ -116,8 +119,10 @@ impl<'a> AdvCtx<'a> {
 ///
 /// The runtime consults the strategy whenever a *dishonest* player must
 /// post; honest players never reach these code paths (they probe the oracle
-/// and post truthfully, per the model's wlog assumption).
-pub trait Strategy: Sync {
+/// and post truthfully, per the model's wlog assumption). `Send + Sync` so
+/// sessions can own strategies behind `Arc` and sweep points can execute
+/// concurrently.
+pub trait Strategy: Send + Sync {
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
 
@@ -242,7 +247,7 @@ impl Strategy for ClusterHijacker {
         object: u32,
         _truth: bool,
     ) -> bool {
-        let victim_pref = ctx.truth.get(self.victim as usize, object as usize);
+        let victim_pref = ctx.truth.value(self.victim, object);
         match phase {
             Phase::ClusterFormation => victim_pref, // look like a clone
             Phase::WorkSharing | Phase::Other => !victim_pref, // poison votes
@@ -270,6 +275,7 @@ impl Strategy for Sleeper {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use byzscore_bitset::BitMatrix;
 
     fn setup() -> (BitMatrix, Vec<bool>, OnceLock<BitVec>) {
         let rows = vec![

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, Session};
 use byzscore_adversary::Behaviors;
 use byzscore_blocks::{small_radius, zero_radius, BlockParams, Ctx};
 use byzscore_board::{Board, Oracle};
@@ -81,7 +81,7 @@ fn bench_full_protocol(c: &mut Criterion) {
     for n in [64usize, 128] {
         let inst = planted_instance(n, 2 * n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+            let sys = Session::builder().instance(&inst).budget(4).build();
             bench.iter(|| {
                 std::hint::black_box(sys.run(Algorithm::CalculatePreferences, 7).errors.max)
             });
@@ -96,7 +96,7 @@ fn bench_robust(c: &mut Criterion) {
     let n = 64usize;
     let inst = planted_instance(n, 2 * n);
     group.bench_function(BenchmarkId::from_parameter(n), |bench| {
-        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+        let sys = Session::builder().instance(&inst).budget(4).build();
         bench.iter(|| std::hint::black_box(sys.run(Algorithm::Robust, 7).errors.max));
     });
     group.finish();
@@ -107,7 +107,7 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     let n = 128usize;
     let inst = planted_instance(n, 2 * n);
-    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let sys = Session::builder().instance(&inst).budget(4).build();
     for (name, alg) in [
         ("naive-sampling", Algorithm::NaiveSampling),
         ("solo", Algorithm::Solo),

@@ -1,0 +1,5 @@
+//! Entry point for experiment `e13` (scale frontier on procedural truth).
+
+fn main() {
+    byzscore_bench::cli::single_main("e13");
+}

@@ -256,8 +256,14 @@ pub fn run(experiments: &[&'static Experiment], scale: Scale) -> Vec<RunRecord> 
 
 /// Serialize records as the versioned JSON document written to
 /// `BENCH_*.json`.
+///
+/// Schema history: `byzscore-bench/v2` extends v1 with board-memory
+/// columns — tables produced by runs now carry the `BoardStats` scope
+/// accounting (`peak claim slots`, `claim posts`) wherever board traffic is
+/// reported (E11, E13). Structure (schema/scale/threads/experiments/tables)
+/// is unchanged from v1.
 pub fn json_document(records: &[RunRecord], scale: Scale, threads: Option<usize>) -> String {
-    let mut out = String::from("{\"schema\":\"byzscore-bench/v1\"");
+    let mut out = String::from("{\"schema\":\"byzscore-bench/v2\"");
     out.push_str(&format!(
         ",\"scale\":{}",
         json_string(&format!("{scale:?}").to_ascii_lowercase())
@@ -532,7 +538,7 @@ mod tests {
             tables: vec![table],
         }];
         let doc = json_document(&records, Scale::Quick, Some(2));
-        assert!(doc.starts_with("{\"schema\":\"byzscore-bench/v1\""));
+        assert!(doc.starts_with("{\"schema\":\"byzscore-bench/v2\""));
         assert!(doc.contains("\"scale\":\"quick\""));
         assert!(doc.contains("\"threads\":2"));
         assert!(doc.contains("\"id\":\"e01\""));

@@ -1,6 +1,6 @@
 //! A1–A3: ablations of the reconstruction decisions flagged in DESIGN.md §4.
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, ProtocolParams, Session};
 use byzscore_adversary::{Corruption, Inverter};
 use byzscore_bitset::Bits;
 use byzscore_blocks::{small_radius, zero_radius, BlockParams};
@@ -149,7 +149,10 @@ pub fn a3_threshold(scale: Scale) -> Vec<Table> {
             let mut params = ProtocolParams::with_budget(b);
             params.edge_mult = mult;
             tau = params.edge_threshold(n);
-            let out = ScoringSystem::new(&inst, params)
+            let out = Session::builder()
+                .instance(&inst)
+                .params(params)
+                .build()
                 .run(Algorithm::CalculatePreferences, 47 + t as u64);
             max_errs.push(out.errors.max as f64);
             mean_errs.push(out.errors.mean);

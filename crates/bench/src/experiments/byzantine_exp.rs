@@ -1,6 +1,8 @@
 //! E9–E11: the Byzantine claims (§7) and the headline comparison (§1).
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use std::sync::Arc;
+
+use byzscore::{Algorithm, Session, SweepPoint};
 use byzscore_adversary::{
     AntiMajority, ClusterHijacker, Corruption, Inverter, RandomLiar, Strategy,
 };
@@ -54,11 +56,10 @@ pub fn e09_byzantine(scale: Scale) -> Vec<Table> {
         &["strategy", "dishonest", "vs n/(3B)", "max honest err", "mean honest err", "err/D"],
     );
 
-    let liar = RandomLiar { flip_prob: 0.5 };
-    let strategies: Vec<(&str, &dyn Strategy)> = vec![
-        ("inverter", &Inverter),
-        ("anti-majority", &AntiMajority),
-        ("random-liar", &liar),
+    let strategies: Vec<(&str, Arc<dyn Strategy>)> = vec![
+        ("inverter", Arc::new(Inverter)),
+        ("anti-majority", Arc::new(AntiMajority)),
+        ("random-liar", Arc::new(RandomLiar { flip_prob: 0.5 })),
     ];
 
     for (name, strategy) in &strategies {
@@ -67,8 +68,11 @@ pub fn e09_byzantine(scale: Scale) -> Vec<Table> {
             let mut mean_errs = Vec::new();
             for t in 0..trials {
                 let inst = planted(n, m, b, d, 2100 + t as u64);
-                let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(b))
-                    .with_adversary(Corruption::Count { count }, *strategy)
+                let out = Session::builder()
+                    .instance(&inst)
+                    .budget(b)
+                    .adversary_shared(Corruption::Count { count }, strategy.clone())
+                    .build()
                     .run(Algorithm::CalculatePreferences, 17 + t as u64);
                 max_errs.push(out.errors.max as f64);
                 mean_errs.push(out.errors.mean);
@@ -103,9 +107,14 @@ pub fn e09_byzantine(scale: Scale) -> Vec<Table> {
         for t in 0..trials {
             let inst = planted(n, m, b, d, 2200 + t as u64);
             let victim = inst.planted().unwrap().clusters[0][0];
-            let strategy = ClusterHijacker { victim };
-            let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(b))
-                .with_adversary(Corruption::InCluster { cluster: 0, count }, &strategy)
+            let out = Session::builder()
+                .instance(&inst)
+                .budget(b)
+                .adversary(
+                    Corruption::InCluster { cluster: 0, count },
+                    ClusterHijacker { victim },
+                )
+                .build()
                 .run(Algorithm::CalculatePreferences, 23 + t as u64);
             max_errs.push(out.errors.max as f64);
             // Mean error of honest members of the victim's cluster.
@@ -245,6 +254,7 @@ pub fn e11_comparison(scale: Scale) -> Vec<Table> {
             "max err",
             "mean err",
             "max probes",
+            "peak claim slots",
             "elapsed ms",
         ],
     );
@@ -257,50 +267,66 @@ pub fn e11_comparison(scale: Scale) -> Vec<Table> {
             "max honest err",
             "mean honest err",
             "max honest probes",
+            "peak claim slots",
             "elapsed ms",
         ],
     );
 
-    for alg in algorithms {
-        let mut h_max = Vec::new();
-        let mut h_mean = Vec::new();
-        let mut h_probes = Vec::new();
-        let mut h_ms = Vec::new();
-        let mut b_max = Vec::new();
-        let mut b_mean = Vec::new();
-        let mut b_probes = Vec::new();
-        let mut b_ms = Vec::new();
-        for t in 0..trials {
-            let inst = planted(n, m, b, d, 2500 + t as u64);
-            let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(b));
-            let out = sys.run(alg, 31 + t as u64);
-            h_max.push(out.errors.max as f64);
-            h_mean.push(out.errors.mean);
-            h_probes.push(out.max_honest_probes as f64);
-            h_ms.push(out.elapsed.as_millis() as f64);
-
-            let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(b))
-                .with_adversary(Corruption::Count { count: threshold }, &Inverter)
-                .run(alg, 37 + t as u64);
-            b_max.push(out.errors.max as f64);
-            b_mean.push(out.errors.mean);
-            b_probes.push(out.max_honest_probes as f64);
-            b_ms.push(out.elapsed.as_millis() as f64);
+    // All algorithms are independent sweep points of each trial's worlds;
+    // aggregate per algorithm across trials afterwards.
+    let mut h_outs: Vec<Vec<byzscore::Outcome>> = vec![Vec::new(); algorithms.len()];
+    let mut b_outs: Vec<Vec<byzscore::Outcome>> = vec![Vec::new(); algorithms.len()];
+    for t in 0..trials {
+        let inst = planted(n, m, b, d, 2500 + t as u64);
+        let honest_sys = Session::builder().instance(&inst).budget(b).build();
+        let byz_sys = Session::builder()
+            .instance(&inst)
+            .budget(b)
+            .adversary(Corruption::Count { count: threshold }, Inverter)
+            .build();
+        let h_points: Vec<SweepPoint> = algorithms
+            .iter()
+            .map(|&alg| SweepPoint::new(alg, 31 + t as u64))
+            .collect();
+        let b_points: Vec<SweepPoint> = algorithms
+            .iter()
+            .map(|&alg| SweepPoint::new(alg, 37 + t as u64))
+            .collect();
+        for (ai, out) in honest_sys.run_sweep(&h_points).into_iter().enumerate() {
+            h_outs[ai].push(out);
         }
+        for (ai, out) in byz_sys.run_sweep(&b_points).into_iter().enumerate() {
+            b_outs[ai].push(out);
+        }
+    }
+
+    let stat = |outs: &[byzscore::Outcome], f: &dyn Fn(&byzscore::Outcome) -> f64| -> f64 {
+        mean(&outs.iter().map(f).collect::<Vec<f64>>())
+    };
+    for (ai, alg) in algorithms.iter().enumerate() {
         honest.row(vec![
             alg.name(),
-            f2(mean(&h_max)),
-            f2(mean(&h_mean)),
-            f2(mean(&h_probes)),
-            f2(mean(&h_ms)),
+            f2(stat(&h_outs[ai], &|o| o.errors.max as f64)),
+            f2(stat(&h_outs[ai], &|o| o.errors.mean)),
+            f2(stat(&h_outs[ai], &|o| o.max_honest_probes as f64)),
+            f2(stat(&h_outs[ai], &|o| o.board.peak_claim_slots as f64)),
+            f2(stat(&h_outs[ai], &|o| o.elapsed.as_millis() as f64)),
         ]);
         byz.row(vec![
             alg.name(),
-            f2(mean(&b_max)),
-            f2(mean(&b_mean)),
-            f2(mean(&b_probes)),
-            f2(mean(&b_ms)),
+            f2(stat(&b_outs[ai], &|o| o.errors.max as f64)),
+            f2(stat(&b_outs[ai], &|o| o.errors.mean)),
+            f2(stat(&b_outs[ai], &|o| o.max_honest_probes as f64)),
+            f2(stat(&b_outs[ai], &|o| o.board.peak_claim_slots as f64)),
+            f2(stat(&b_outs[ai], &|o| o.elapsed.as_millis() as f64)),
         ]);
+    }
+    for t in [&mut honest, &mut byz] {
+        t.note(
+            "elapsed ms is wall-clock while the sweep's other algorithms run \
+             concurrently (contended); use `cargo bench -p byzscore-bench` for \
+             isolated timings.",
+        );
     }
     vec![honest, byz]
 }

@@ -10,6 +10,7 @@ mod ablations;
 mod blocks_exp;
 mod byzantine_exp;
 mod protocol_exp;
+mod scale_exp;
 
 pub use ablations::{a1_select, a2_votes, a3_threshold};
 pub use blocks_exp::{e01_rselect, e02_zero_radius, e03_small_radius, e04_sample_concentration};
@@ -17,6 +18,7 @@ pub use byzantine_exp::{e09_byzantine, e10_election, e11_comparison};
 pub use protocol_exp::{
     e05_clustering, e06_probe_complexity, e07_error_vs_d, e08_lower_bound, e12_budgets,
 };
+pub use scale_exp::e13_scale_frontier;
 
 use byzscore_adversary::Behaviors;
 use byzscore_bitset::BitMatrix;
@@ -29,7 +31,7 @@ use byzscore_random::Beacon;
 /// block-level experiments free of lifetime plumbing.
 pub struct Harness<'a> {
     /// Probe oracle over the instance truth.
-    pub oracle: Oracle<'a>,
+    pub oracle: Oracle,
     /// Bulletin board.
     pub board: Board,
     /// Behaviour table.

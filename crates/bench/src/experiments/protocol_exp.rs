@@ -2,7 +2,7 @@
 
 use byzscore::cluster::cluster_players;
 use byzscore::sampling::choose_sample;
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, ProtocolParams, Session, SweepPoint};
 use byzscore_bitset::{BitVec, Bits};
 use byzscore_blocks::small_radius;
 use byzscore_model::metrics::{approx_ratios, cluster_quality, opt_bounds};
@@ -107,7 +107,7 @@ pub fn e06_probe_complexity(scale: Scale) -> Vec<Table> {
             balance: Balance::Even,
         }
         .generate(1100 + n as u64);
-        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(b));
+        let sys = Session::builder().instance(&inst).budget(b).build();
         let out = sys.run(Algorithm::CalculatePreferences, 3);
         let ln3 = (n as f64).ln().powi(3);
         points.push((n as f64, out.max_honest_probes as f64));
@@ -155,7 +155,11 @@ pub fn e06_probe_complexity(scale: Scale) -> Vec<Table> {
         pp.blocks.sr_subset_scale = 96.0;
         pp.c_sample = 1.5;
         pp.c_probe_rep = 0.8;
-        let out = ScoringSystem::new(&inst, pp).run(Algorithm::CalculatePreferences, 3);
+        let out = Session::builder()
+            .instance(&inst)
+            .params(pp)
+            .build()
+            .run(Algorithm::CalculatePreferences, 3);
         points_b.push((n as f64, out.max_honest_probes as f64));
         table_b.row(vec![
             n.to_string(),
@@ -210,15 +214,19 @@ pub fn e07_error_vs_d(scale: Scale) -> Vec<Table> {
                 balance: Balance::Even,
             }
             .generate(1300 + t as u64);
-            let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(b));
-            let out = sys.run(Algorithm::CalculatePreferences, 7 + t as u64);
+            let sys = Session::builder().instance(&inst).budget(b).build();
+            // Protocol + skyline are independent sweep points of one world.
+            let outs = sys.run_sweep(&[
+                SweepPoint::new(Algorithm::CalculatePreferences, 7 + t as u64),
+                SweepPoint::new(Algorithm::OracleClusters, 7 + t as u64),
+            ]);
+            let (out, sky_out) = (&outs[0], &outs[1]);
             max_errs.push(out.errors.max as f64);
             mean_errs.push(out.errors.mean);
             let bounds = opt_bounds(inst.truth(), n / b);
             let (_, vs_upper) = approx_ratios(&out.errors.per_player, &bounds);
             ratios.push(vs_upper);
             opt_ub_max = opt_ub_max.max(bounds.upper.iter().copied().max().unwrap_or(0));
-            let sky_out = sys.run(Algorithm::OracleClusters, 7 + t as u64);
             sky.push(sky_out.errors.max as f64);
         }
         points.push((d as f64, mean(&max_errs).max(0.5)));
@@ -264,28 +272,43 @@ pub fn e08_lower_bound(scale: Scale) -> Vec<Table> {
         ],
     );
 
+    let algs = [
+        Algorithm::CalculatePreferences,
+        Algorithm::OracleClusters,
+        Algorithm::Solo,
+    ];
     for &d in &ds {
-        for alg in [
-            Algorithm::CalculatePreferences,
-            Algorithm::OracleClusters,
-            Algorithm::Solo,
-        ] {
+        // One session per trial world; all three algorithms are independent
+        // sweep points of it.
+        let mut insts = Vec::with_capacity(trials);
+        let mut per_alg: Vec<Vec<byzscore::Outcome>> = vec![Vec::new(); algs.len()];
+        for t in 0..trials {
+            let inst = Workload::LowerBound {
+                players: n,
+                objects: n,
+                budget_b: b,
+                diameter: d,
+            }
+            .generate(1500 + t as u64);
+            let sys = Session::builder().instance(&inst).budget(b).build();
+            let points: Vec<SweepPoint> = algs
+                .iter()
+                .map(|&alg| SweepPoint::new(alg, 11 + t as u64))
+                .collect();
+            for (ai, out) in sys.run_sweep(&points).into_iter().enumerate() {
+                per_alg[ai].push(out);
+            }
+            insts.push(inst);
+        }
+        for (ai, alg) in algs.iter().enumerate() {
             let mut s_min = usize::MAX;
             let mut s_errs = Vec::new();
             let mut full_errs = Vec::new();
-            for t in 0..trials {
-                let inst = Workload::LowerBound {
-                    players: n,
-                    objects: n,
-                    budget_b: b,
-                    diameter: d,
-                }
-                .generate(1500 + t as u64);
-                let planted = inst.planted().unwrap().clone();
+            for (t, out) in per_alg[ai].iter().enumerate() {
+                let inst = &insts[t];
+                let planted = inst.planted().unwrap();
                 let special = planted.special_objects.clone().unwrap();
                 let mask = BitVec::from_indices(n, &special);
-                let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(b));
-                let out = sys.run(alg, 11 + t as u64);
                 for &p in &planted.clusters[0] {
                     let err_s = out
                         .output
@@ -342,7 +365,7 @@ pub fn e12_budgets(scale: Scale) -> Vec<Table> {
             balance: Balance::Even,
         }
         .generate(1700 + b as u64);
-        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(b));
+        let sys = Session::builder().instance(&inst).budget(b).build();
         let out = sys.run(Algorithm::CalculatePreferences, 13);
         table.row(vec![
             b.to_string(),

@@ -117,6 +117,14 @@ pub static REGISTRY: &[Experiment] = &[
         runner: e::e12_budgets,
     },
     Experiment {
+        id: "e13",
+        name: "scale_frontier",
+        description:
+            "Scale frontier: procedural O(1)-memory truth backend sweeps n up to 1e5 players",
+        tags: &["scale", "baselines", "perf"],
+        runner: e::e13_scale_frontier,
+    },
+    Experiment {
         id: "a1",
         name: "select-ablation",
         description: "Ablation: Select batch size and elimination constants",
@@ -139,12 +147,13 @@ pub static REGISTRY: &[Experiment] = &[
     },
 ];
 
-/// Look one experiment up by id or name (case-insensitive).
+/// Look one experiment up by id, name, or the `<id>_<name>` binary-file
+/// form (`e13_scale_frontier`), case-insensitively.
 pub fn find(key: &str) -> Option<&'static Experiment> {
     let k = key.to_ascii_lowercase();
-    REGISTRY
-        .iter()
-        .find(|x| x.id == k || x.name.eq_ignore_ascii_case(&k))
+    REGISTRY.iter().find(|x| {
+        x.id == k || x.name.eq_ignore_ascii_case(&k) || format!("{}_{}", x.id, x.name) == k
+    })
 }
 
 /// Resolve one `--only` selector to experiments: an id (`e07`), a name
@@ -174,7 +183,7 @@ mod tests {
             assert!(!x.description.is_empty(), "{} lacks a description", x.id);
             assert!(!x.tags.is_empty(), "{} lacks tags", x.id);
         }
-        assert_eq!(REGISTRY.len(), 15);
+        assert_eq!(REGISTRY.len(), 16);
     }
 
     #[test]
@@ -185,6 +194,11 @@ mod tests {
         ));
         assert!(find("E09").is_some(), "ids are case-insensitive");
         assert!(find("nope").is_none());
+        // The binary-file form works too (acceptance surface of e13).
+        assert!(std::ptr::eq(
+            find("e13_scale_frontier").unwrap(),
+            find("e13").unwrap()
+        ));
     }
 
     #[test]

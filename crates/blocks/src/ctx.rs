@@ -116,7 +116,7 @@ impl BlockParams {
 #[derive(Clone)]
 pub struct Ctx<'a> {
     /// Metered access to hidden preferences.
-    pub oracle: &'a Oracle<'a>,
+    pub oracle: &'a Oracle,
     /// The shared bulletin board.
     pub board: &'a Board,
     /// Who is dishonest and what they post.
@@ -136,7 +136,7 @@ pub struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     /// Assemble a context.
     pub fn new(
-        oracle: &'a Oracle<'a>,
+        oracle: &'a Oracle,
         board: &'a Board,
         behaviors: &'a Behaviors<'a>,
         beacon: Beacon,

@@ -13,7 +13,7 @@
 
 use byzscore_adversary::Phase;
 use byzscore_bitset::{BitVec, Bits};
-use byzscore_board::{par::par_map_items, scope_id};
+use byzscore_board::par::par_map_items;
 use byzscore_random::{partition_into, tags};
 
 use crate::tournament::select_among;
@@ -113,9 +113,11 @@ pub fn small_radius(
         }
     });
 
-    let scope = scope_id(&[scope_path, &[tags::SR_PARTITION]].concat());
+    let scope = ctx
+        .board
+        .scope(&[scope_path, &[tags::SR_PARTITION]].concat());
     for (&p, v) in players.iter().zip(&out) {
-        ctx.board.post_vector(scope, p, v.clone());
+        scope.post_vector(p, v.clone());
     }
     out
 }

@@ -14,7 +14,6 @@
 //! vector is popular.
 
 use byzscore_bitset::{disagreement_indices, BitVec, Bits};
-use byzscore_board::scope_id;
 use byzscore_random::{halve, tags};
 
 use crate::votes::candidate_vectors;
@@ -48,9 +47,13 @@ pub fn zero_radius(
     let out = zr_node(ctx, players, objects, bprime, &mut path);
     // Publish assembled outputs for this invocation (SmallRadius tallies
     // these; recursion-internal nodes exchange in memory — same data flow).
-    let scope = scope_id(&[scope_path, &[tags::ZR_PARTITION]].concat());
+    // Registered via `Board::scope` so enclosing drivers can retire the
+    // whole step's posts by path prefix.
+    let scope = ctx
+        .board
+        .scope(&[scope_path, &[tags::ZR_PARTITION]].concat());
     for (&p, v) in players.iter().zip(&out) {
-        ctx.board.post_vector(scope, p, v.clone());
+        scope.post_vector(p, v.clone());
     }
     out
 }
@@ -229,7 +232,7 @@ mod tests {
     use super::*;
     use crate::BlockParams;
     use byzscore_adversary::{Behaviors, Corruption, Inverter};
-    use byzscore_board::{Board, Oracle};
+    use byzscore_board::{scope_id, Board, Oracle};
     use byzscore_model::{Balance, Workload};
     use byzscore_random::Beacon;
 

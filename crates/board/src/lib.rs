@@ -9,7 +9,11 @@
 //!
 //! This crate realizes that model in-process:
 //!
-//! * [`Oracle`] — the only path to the hidden truth matrix; every probe is
+//! * [`TruthSource`] — the pluggable hidden-preference substrate:
+//!   [`DenseTruth`] owns a materialized matrix, [`ProceduralTruth`]
+//!   regenerates planted-cluster bits on the fly from a [`ClusterSpec`] in
+//!   `O(1)` memory per player (the `n ≥ 10⁵` backend).
+//! * [`Oracle`] — the only path to the hidden truth; every probe is
 //!   counted against the probing player in a lock-free [`ProbeLedger`].
 //!   Probe complexity is the paper's sole cost measure, so the ledger is the
 //!   measurement instrument for every experiment.
@@ -18,7 +22,10 @@
 //!   slot, so a Byzantine player can lie but can neither forge another
 //!   player's entry nor stuff ballot boxes with duplicates. Sharded mutexes
 //!   (parking_lot) make concurrent phase writes cheap; reads return
-//!   author-sorted snapshots so downstream code is deterministic.
+//!   author-sorted snapshots so downstream code is deterministic. Scopes
+//!   opened with [`Board::scope`] can be *retired* when their step
+//!   completes, so long runs hold only the current step's working set
+//!   ([`BoardStats`] reports the peak).
 //! * [`par::par_map_players`] — scoped-thread data parallelism over players
 //!   with deterministic, index-ordered results: simulation speed without
 //!   giving up reproducibility.
@@ -35,7 +42,9 @@ mod bulletin;
 mod ledger;
 mod oracle;
 pub mod par;
+mod truth;
 
-pub use bulletin::{scope_id, Board, BoardStats};
+pub use bulletin::{scope_id, Board, BoardStats, ScopeHandle};
 pub use ledger::{LedgerSnapshot, ProbeLedger};
 pub use oracle::Oracle;
+pub use truth::{ClusterSpec, DenseTruth, IntoTruthSource, ProceduralTruth, TruthSource};

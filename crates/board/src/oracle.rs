@@ -1,18 +1,28 @@
 //! The probe oracle: metered access to hidden preferences.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use byzscore_bitset::BitMatrix;
+use crate::{IntoTruthSource, LedgerSnapshot, ProbeLedger, TruthSource};
 
-use crate::{LedgerSnapshot, ProbeLedger};
+/// Memoization bitmap cap: above this many `players × objects` bits the
+/// dense "seen" bitmap would itself become the memory wall the streaming
+/// truth backends exist to avoid, so [`Oracle::new`] degrades to raw
+/// per-call accounting (2²⁸ bits = 32 MB).
+const MEMO_LIMIT_BITS: usize = 1 << 28;
 
-/// The only sanctioned path from protocol code to the hidden truth matrix.
+/// The only sanctioned path from protocol code to the hidden truth.
 ///
 /// "Every time a player probes an object, it learns its preference for that
 /// object" (§2). Each call to [`Oracle::probe`] returns `v(player)[object]`
 /// and charges the probe to `player` in the ledger. Protocol honesty about
 /// budgets is then checkable after the fact: experiments assert
 /// `ledger.max() ≤ c · B · polylog(n)`.
+///
+/// The oracle *owns* its [`TruthSource`] (shared via `Arc`), so it carries
+/// no borrow of the instance: substrates plug in behind the trait —
+/// [`crate::DenseTruth`] for materialized matrices,
+/// [`crate::ProceduralTruth`] for `O(1)`-memory planted-cluster worlds.
 ///
 /// # Memoization
 ///
@@ -21,47 +31,61 @@ use crate::{LedgerSnapshot, ProbeLedger};
 /// opinions, so only *first* evaluations cost anything. This matches what a
 /// real deployment pays (a reviewer reads each paper at most once) and only
 /// tightens the paper's upper bounds, which are proved without dedup.
-/// [`Oracle::new_uncached`] restores raw per-call accounting for analyses
+/// The memo bitmap is dense (`players × objects` bits); beyond
+/// 2²⁸ bits [`Oracle::new`] automatically falls back to uncached
+/// accounting so giant streaming worlds stay `O(n)`-memory.
+/// [`Oracle::new_uncached`] forces raw per-call accounting for analyses
 /// that want the paper's literal counting.
-pub struct Oracle<'a> {
-    truth: &'a BitMatrix,
+pub struct Oracle {
+    truth: Arc<dyn TruthSource>,
     ledger: ProbeLedger,
     /// One bit per (player, object): probed before? `None` = uncached mode.
     seen: Option<Vec<AtomicU64>>,
     cols: usize,
 }
 
-impl<'a> Oracle<'a> {
-    /// Memoized oracle over `truth` with a fresh ledger (the default).
-    pub fn new(truth: &'a BitMatrix) -> Self {
-        let bits = truth.rows() * truth.cols();
+impl Oracle {
+    /// Memoized oracle over `truth` with a fresh ledger (the default; falls
+    /// back to uncached accounting past the memo bitmap cap, see type docs).
+    pub fn new(truth: impl IntoTruthSource) -> Self {
+        let truth = truth.into_truth_source();
+        let bits = truth.players() * truth.objects();
+        let seen = (bits <= MEMO_LIMIT_BITS)
+            .then(|| (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect());
         Oracle {
-            ledger: ProbeLedger::new(truth.rows()),
-            seen: Some((0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()),
-            cols: truth.cols(),
+            ledger: ProbeLedger::new(truth.players()),
+            seen,
+            cols: truth.objects(),
             truth,
         }
     }
 
     /// Oracle charging every probe call, including repeats (the paper's
     /// literal accounting).
-    pub fn new_uncached(truth: &'a BitMatrix) -> Self {
+    pub fn new_uncached(truth: impl IntoTruthSource) -> Self {
+        let truth = truth.into_truth_source();
         Oracle {
-            ledger: ProbeLedger::new(truth.rows()),
+            ledger: ProbeLedger::new(truth.players()),
             seen: None,
-            cols: truth.cols(),
+            cols: truth.objects(),
             truth,
         }
     }
 
     /// Number of players.
     pub fn players(&self) -> usize {
-        self.truth.rows()
+        self.truth.players()
     }
 
     /// Number of objects.
     pub fn objects(&self) -> usize {
-        self.truth.cols()
+        self.truth.objects()
+    }
+
+    /// The underlying truth source (for *metrics*, never for protocol code —
+    /// reading it does not charge the ledger).
+    pub fn truth(&self) -> &Arc<dyn TruthSource> {
+        &self.truth
     }
 
     /// Player `player` probes `object`, learning its own true preference.
@@ -80,7 +104,16 @@ impl<'a> Oracle<'a> {
         if charge {
             self.ledger.record(player);
         }
-        self.truth.get(player as usize, object as usize)
+        self.truth.value(player, object)
+    }
+
+    /// Whether repeat probes are deduplicated (memoized mode) or charged
+    /// per call (literal accounting). [`Oracle::new`] picks memoized while
+    /// the seen-bitmap fits; consumers comparing probe counts across world
+    /// sizes should check this so a mode switch is never mistaken for a
+    /// probe-complexity knee.
+    pub fn is_memoized(&self) -> bool {
+        self.seen.is_some()
     }
 
     /// Probe accounting.
@@ -97,7 +130,7 @@ impl<'a> Oracle<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use byzscore_bitset::BitVec;
+    use byzscore_bitset::{BitMatrix, BitVec};
 
     #[test]
     fn probe_returns_truth_and_counts() {
@@ -141,6 +174,25 @@ mod tests {
             assert!(!o.probe(0, 0));
         }
         assert_eq!(o.ledger().count(0), 10);
+    }
+
+    #[test]
+    fn procedural_backend_probes_without_matrix() {
+        let spec = crate::ClusterSpec {
+            players: 16,
+            objects: 32,
+            clusters: 2,
+            diameter: 4,
+            seed: 5,
+        };
+        let dense = Oracle::new(spec.materialize());
+        let streaming = Oracle::new(crate::ProceduralTruth::new(spec));
+        for p in 0..16u32 {
+            for o in 0..32u32 {
+                assert_eq!(dense.probe(p, o), streaming.probe(p, o), "({p},{o})");
+            }
+        }
+        assert_eq!(dense.snapshot(), streaming.snapshot());
     }
 
     #[test]

@@ -98,6 +98,62 @@ where
         .collect()
 }
 
+/// Coarse workers currently fanned out by [`par_map_coarse`] calls.
+/// Inner phases divide the thread budget by this, so a sweep of S points
+/// whose runs each parallelize over players stays at ≈ budget total
+/// workers instead of S × budget.
+static COARSE_FANOUT: AtomicUsize = AtomicUsize::new(1);
+
+/// Apply `f` to each item in parallel like [`par_map_items`], but without
+/// the tiny-phase sequential cutoff: intended for *coarse* work items
+/// (whole protocol runs, sweep points) where even 2–8 items are worth a
+/// thread each. While the coarse workers run, *inner* phase parallelism
+/// ([`par_map_players`]/[`par_map_items`] called from `f`) shares the
+/// process-wide budget: each inner phase gets `budget / fanout` workers,
+/// so the total stays within the [`set_thread_limit`] cap. Results are
+/// order-preserving, so output is bit-identical under any thread count.
+pub fn par_map_coarse<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = items.len();
+    let cap = thread_limit()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get()));
+    let threads = cap.min(n).max(1);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Drop guard so a panicking worker (propagated by thread::scope)
+    // cannot leave the fan-out inflated and throttle the whole process.
+    struct FanoutGuard(usize);
+    impl Drop for FanoutGuard {
+        fn drop(&mut self) {
+            COARSE_FANOUT.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+    COARSE_FANOUT.fetch_add(threads - 1, Ordering::Relaxed);
+    let _guard = FanoutGuard(threads - 1);
+
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(&items[start + i]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
 fn threads_for(n: usize) -> usize {
     if n < 32 {
         // Tiny phases are faster sequentially than through thread spawn.
@@ -105,7 +161,10 @@ fn threads_for(n: usize) -> usize {
     }
     let cap = thread_limit()
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get()));
-    cap.min(n).max(1)
+    // Share the budget with any coarse fan-out in flight (never affects
+    // results, only worker counts).
+    let fanout = COARSE_FANOUT.load(Ordering::Relaxed).max(1);
+    (cap / fanout).min(n).max(1)
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use byzscore_adversary::Phase;
 use byzscore_bitset::{BitVec, ColumnCounter};
 use byzscore_blocks::{rselect, Ctx};
 use byzscore_board::par::par_map_players;
-use byzscore_model::Instance;
+use byzscore_model::Planted;
 use byzscore_random::{choose_k, tags};
 
 use crate::cluster::{cluster_players, Clustering};
@@ -62,6 +62,8 @@ pub fn naive_sampling(ctx: &Ctx<'_>, params: &ProtocolParams) -> Vec<BitVec> {
         for (p, w) in w_d.into_iter().enumerate() {
             candidates[p].push(w);
         }
+        // This guess's vote record is dead once its candidate is extracted.
+        ctx.board.retire_prefix(&[0x7a1e, di as u64]);
     }
 
     let all_objects: Vec<u32> = (0..m as u32).collect();
@@ -85,7 +87,7 @@ pub fn solo(ctx: &Ctx<'_>, params: &ProtocolParams) -> Vec<BitVec> {
     let budget = ((params.budget() as f64 * ln_n).ceil() as usize).clamp(1, m);
 
     // Everyone probes their own random objects and posts the results.
-    let scope = byzscore_board::scope_id(&[0x5010]);
+    let scope = ctx.board.scope(&[0x5010]);
     let probes: Vec<Vec<(u32, bool)>> = par_map_players(n, |p| {
         let p32 = p as u32;
         let mut rng = ctx.player_rng(p32, &[0x5010]);
@@ -98,7 +100,7 @@ pub fn solo(ctx: &Ctx<'_>, params: &ProtocolParams) -> Vec<BitVec> {
                 } else {
                     ctx.oracle.probe(p32, o)
                 };
-                ctx.board.post_claim(scope, p32, o, v);
+                scope.post_claim(p32, o, v);
                 (o, v)
             })
             .collect()
@@ -134,10 +136,14 @@ pub fn global_majority(ctx: &Ctx<'_>, params: &ProtocolParams) -> Vec<BitVec> {
 }
 
 /// Skyline: perfect, free cluster discovery from the planted structure.
-pub fn oracle_clusters(ctx: &Ctx<'_>, params: &ProtocolParams, instance: &Instance) -> Vec<BitVec> {
+pub fn oracle_clusters(
+    ctx: &Ctx<'_>,
+    params: &ProtocolParams,
+    planted: Option<&Planted>,
+) -> Vec<BitVec> {
     let n = ctx.n();
     let m = ctx.oracle.objects();
-    let clustering = match instance.planted() {
+    let clustering = match planted {
         Some(planted) => Clustering {
             assignment: planted.assignment.clone(),
             clusters: planted.clusters.clone(),
@@ -163,7 +169,7 @@ mod tests {
     use byzscore_adversary::Behaviors;
     use byzscore_bitset::Bits;
     use byzscore_board::{Board, Oracle};
-    use byzscore_model::{Balance, Workload};
+    use byzscore_model::{Balance, Instance, Workload};
     use byzscore_random::Beacon;
 
     fn world(seed: u64) -> (Instance, ProtocolParams) {
@@ -191,7 +197,7 @@ mod tests {
             Beacon::honest(1),
             &params.blocks,
         );
-        let out = oracle_clusters(&ctx, &params, &inst);
+        let out = oracle_clusters(&ctx, &params, inst.planted());
         let worst = (0..64)
             .map(|p| out[p].hamming(&inst.truth().row(p)))
             .max()

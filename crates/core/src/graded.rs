@@ -19,7 +19,7 @@ use byzscore_bitset::{BitMatrix, BitVec, Bits};
 use byzscore_model::Instance;
 use rand::Rng;
 
-use crate::{Algorithm, Outcome, ProtocolParams, ScoringSystem};
+use crate::{Algorithm, Outcome, ProtocolParams, Session};
 
 /// A matrix of integer scores in `0..2^bits` (players × objects).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -171,10 +171,14 @@ pub fn score_graded(
         .enumerate()
         .map(|(j, plane)| {
             let instance = Instance::new(plane.clone(), None, format!("plane{j}"), seed);
-            ScoringSystem::new(&instance, params.clone()).run(
-                algorithm,
-                byzscore_random::derive_seed(seed, &[0x6e_ad, j as u64]),
-            )
+            Session::builder()
+                .instance(&instance)
+                .params(params.clone())
+                .build()
+                .run(
+                    algorithm,
+                    byzscore_random::derive_seed(seed, &[0x6e_ad, j as u64]),
+                )
         })
         .collect();
 

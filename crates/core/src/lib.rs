@@ -36,7 +36,7 @@
 //! # Quick start
 //!
 //! ```
-//! use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+//! use byzscore::{Algorithm, ProtocolParams, Session};
 //! use byzscore_model::{Balance, Workload};
 //!
 //! // 64 players, 256 objects, 4 planted taste clusters of diameter 4.
@@ -46,16 +46,22 @@
 //! }
 //! .generate(7);
 //!
-//! let params = ProtocolParams::with_budget(8);
-//! let outcome = ScoringSystem::new(&instance, params)
-//!     .run(Algorithm::CalculatePreferences, 42);
+//! let session = Session::builder()
+//!     .instance(&instance)
+//!     .params(ProtocolParams::with_budget(8))
+//!     .build();
+//! let outcome = session.run(Algorithm::CalculatePreferences, 42);
 //!
 //! // Every honest player's prediction error is O(D).
 //! assert!(outcome.errors.max <= 5 * 4);
 //! ```
 //!
-//! Byzantine runs plug in a corruption model and strategy from
-//! `byzscore-adversary`; see `examples/sybil_attack.rs`.
+//! A [`Session`] owns its substrate behind the `TruthSource` trait: dense
+//! matrices for simulation sizes, or the `O(1)`-memory procedural backend
+//! (`Session::builder().procedural(spec)`) for `n ≥ 10⁵` worlds. Sweeps of
+//! independent `(algorithm, seed)` points run in parallel with
+//! [`Session::run_sweep`]. Byzantine runs plug in a corruption model and
+//! strategy from `byzscore-adversary`; see `examples/sybil_attack.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,7 +76,8 @@ mod runner;
 pub mod sampling;
 pub mod share;
 
+pub use byzscore_board::{ClusterSpec, DenseTruth, ProceduralTruth, TruthSource};
 pub use params::ProtocolParams;
 pub use protocol::calculate_preferences;
 pub use robust::robust_calculate_preferences;
-pub use runner::{Algorithm, Outcome, ScoringSystem};
+pub use runner::{Algorithm, Outcome, Session, SessionBuilder, SweepPoint};

@@ -76,6 +76,12 @@ pub fn calculate_preferences(
         for (p, w) in w_d.into_iter().enumerate() {
             candidates[p].push(w);
         }
+
+        // Everything this guess posted (SmallRadius vectors, work-sharing
+        // claims) is consumed: the candidates live in memory and step 2's
+        // RSelect only probes. Retiring keeps the board's live set at one
+        // diameter guess instead of accumulating all of them per run.
+        ctx.board.retire_prefix(&path);
     }
 
     // Step 2: per-player RSelect across the diameter guesses.

@@ -90,6 +90,11 @@ pub fn robust_calculate_preferences(
         for (p, w) in w_r.into_iter().enumerate() {
             candidates[p].push(w);
         }
+
+        // Release any remaining posts of this repetition (the per-diameter
+        // retirement inside `calculate_preferences` catches almost all of
+        // them; this is the backstop that keeps repetitions from leaking).
+        ctx.board.retire_prefix(&[0x0b57, r as u64]);
     }
 
     // Final RSelect across repetitions ("the players then execute RSelect

@@ -1,21 +1,25 @@
-//! High-level experiment runner: one call from (instance, adversary,
-//! algorithm) to a measured [`Outcome`].
+//! High-level experiment runner: a [`Session`] ties a truth source,
+//! parameters, and an adversary together; [`Session::run`] measures one
+//! protocol execution, [`Session::run_sweep`] measures many in parallel.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use byzscore_adversary::{Behaviors, Corruption, Strategy, Truthful};
-use byzscore_bitset::BitMatrix;
+use byzscore_bitset::{BitMatrix, Bits};
 use byzscore_blocks::Ctx;
-use byzscore_board::{Board, BoardStats, LedgerSnapshot, Oracle};
+use byzscore_board::par::par_map_coarse;
+use byzscore_board::{
+    Board, BoardStats, ClusterSpec, DenseTruth, IntoTruthSource, LedgerSnapshot, Oracle,
+    ProceduralTruth, TruthSource,
+};
 use byzscore_election::{BinStrategy, GreedyInfiltrate};
-use byzscore_model::metrics::{error_report, ErrorReport};
-use byzscore_model::Instance;
+use byzscore_model::metrics::ErrorReport;
+use byzscore_model::{Instance, Planted};
 use byzscore_random::Beacon;
 
 use crate::robust::RepetitionLog;
 use crate::{baseline, calculate_preferences, robust_calculate_preferences, ProtocolParams};
-
-static TRUTHFUL: Truthful = Truthful;
 
 /// Which algorithm to execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,8 +71,14 @@ pub struct Outcome {
     /// Maximum probes spent by any honest player — the budget the paper's
     /// Lemmas 10–11 bound.
     pub max_honest_probes: u64,
-    /// Bulletin-board traffic.
+    /// Bulletin-board traffic and memory (including the peak live-slot
+    /// counts from scope-lifecycle accounting).
     pub board: BoardStats,
+    /// Whether probe counts used memoized accounting (repeats free) or the
+    /// paper's literal per-call accounting. The oracle auto-degrades to
+    /// literal accounting past its memo-bitmap cap, so scale sweeps must
+    /// not compare probe counts across a mode boundary.
+    pub memoized_probes: bool,
     /// Wall-clock duration of the protocol run.
     pub elapsed: Duration,
     /// Robust-mode election log (empty for other algorithms).
@@ -77,10 +87,37 @@ pub struct Outcome {
     pub dishonest_count: usize,
 }
 
-/// Builder tying an instance, parameters, and an adversary together.
+/// One point of a sweep: which algorithm to run under which master seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Algorithm to execute.
+    pub algorithm: Algorithm,
+    /// Master seed of the execution.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// New sweep point.
+    pub fn new(algorithm: Algorithm, seed: u64) -> Self {
+        SweepPoint { algorithm, seed }
+    }
+}
+
+impl From<(Algorithm, u64)> for SweepPoint {
+    fn from((algorithm, seed): (Algorithm, u64)) -> Self {
+        SweepPoint { algorithm, seed }
+    }
+}
+
+/// An executable world: truth source + parameters + adversary.
+///
+/// Sessions are lifetime-free (the truth is shared behind `Arc`) and
+/// `Sync`, so independent executions — distinct `(algorithm, seed)` sweep
+/// points — can run concurrently via [`Session::run_sweep`]. Build one with
+/// [`Session::builder`]:
 ///
 /// ```
-/// use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+/// use byzscore::{Algorithm, ProtocolParams, Session, SweepPoint};
 /// use byzscore_adversary::{Corruption, Inverter};
 /// use byzscore_model::{Balance, Workload};
 ///
@@ -89,42 +126,53 @@ pub struct Outcome {
 /// }
 /// .generate(1);
 ///
-/// let outcome = ScoringSystem::new(&instance, ProtocolParams::with_budget(8))
-///     .with_adversary(Corruption::Count { count: 2 }, &Inverter)
-///     .run(Algorithm::Robust, 7);
+/// let session = Session::builder()
+///     .instance(&instance)
+///     .params(ProtocolParams::with_budget(8))
+///     .adversary(Corruption::Count { count: 2 }, Inverter)
+///     .build();
+///
+/// let outcome = session.run(Algorithm::Robust, 7);
 /// assert!(outcome.errors.max <= 4);
+///
+/// // Independent sweep points execute in parallel, bit-identically to
+/// // sequential `run` calls.
+/// let outcomes = session.run_sweep(&[
+///     SweepPoint::new(Algorithm::Robust, 7),
+///     SweepPoint::new(Algorithm::GlobalMajority, 7),
+/// ]);
+/// assert_eq!(outcomes[0].output, outcome.output);
 /// ```
-pub struct ScoringSystem<'a> {
-    instance: &'a Instance,
+pub struct Session {
+    truth: Arc<dyn TruthSource>,
+    planted: Option<Planted>,
     params: ProtocolParams,
     corruption: Corruption,
-    strategy: &'a dyn Strategy,
-    election_adversary: &'a dyn BinStrategy,
+    strategy: Arc<dyn Strategy>,
+    election_adversary: Arc<dyn BinStrategy>,
 }
 
-impl<'a> ScoringSystem<'a> {
-    /// System over `instance` with everyone honest.
-    pub fn new(instance: &'a Instance, params: ProtocolParams) -> Self {
-        ScoringSystem {
-            instance,
-            params,
+impl Session {
+    /// Start building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            truth: None,
+            planted: None,
+            params: None,
             corruption: Corruption::None,
-            strategy: &TRUTHFUL,
-            election_adversary: &GREEDY_DEFAULT,
+            strategy: None,
+            election_adversary: None,
         }
     }
 
-    /// Install a corruption model and dishonest strategy.
-    pub fn with_adversary(mut self, corruption: Corruption, strategy: &'a dyn Strategy) -> Self {
-        self.corruption = corruption;
-        self.strategy = strategy;
-        self
+    /// Number of players `n`.
+    pub fn players(&self) -> usize {
+        self.truth.players()
     }
 
-    /// Override how dishonest players play the leader election.
-    pub fn with_election_adversary(mut self, adversary: &'a dyn BinStrategy) -> Self {
-        self.election_adversary = adversary;
-        self
+    /// Number of objects.
+    pub fn objects(&self) -> usize {
+        self.truth.objects()
     }
 
     /// Access the parameters (for experiment sweeps).
@@ -132,12 +180,23 @@ impl<'a> ScoringSystem<'a> {
         &self.params
     }
 
+    /// The truth source backing this session.
+    pub fn truth(&self) -> &Arc<dyn TruthSource> {
+        &self.truth
+    }
+
+    /// Planted structure, when known.
+    pub fn planted(&self) -> Option<&Planted> {
+        self.planted.as_ref()
+    }
+
     /// Execute `algorithm` with master seed `seed` and measure everything.
     pub fn run(&self, algorithm: Algorithm, seed: u64) -> Outcome {
-        let truth = self.instance.truth();
-        let dishonest = self.corruption.select(self.instance, seed);
-        let behaviors = Behaviors::new(truth, dishonest, self.strategy);
-        let oracle = Oracle::new(truth);
+        let n = self.truth.players();
+        let m = self.truth.objects();
+        let dishonest = self.corruption.select_mask(n, self.planted.as_ref(), seed);
+        let behaviors = Behaviors::new(self.truth.as_ref(), dishonest, self.strategy.as_ref());
+        let oracle = Oracle::new(self.truth.clone());
         let board = Board::new();
         let ctx = Ctx::new(
             &oracle,
@@ -152,8 +211,11 @@ impl<'a> ScoringSystem<'a> {
         let rows = match algorithm {
             Algorithm::CalculatePreferences => calculate_preferences(&ctx, &self.params, &[0]),
             Algorithm::Robust => {
-                let (rows, logs) =
-                    robust_calculate_preferences(&ctx, &self.params, self.election_adversary);
+                let (rows, logs) = robust_calculate_preferences(
+                    &ctx,
+                    &self.params,
+                    self.election_adversary.as_ref(),
+                );
                 repetitions = logs;
                 rows
             }
@@ -161,11 +223,11 @@ impl<'a> ScoringSystem<'a> {
             Algorithm::Solo => baseline::solo(&ctx, &self.params),
             Algorithm::GlobalMajority => baseline::global_majority(&ctx, &self.params),
             Algorithm::OracleClusters => {
-                baseline::oracle_clusters(&ctx, &self.params, self.instance)
+                baseline::oracle_clusters(&ctx, &self.params, self.planted.as_ref())
             }
             Algorithm::DirectSmallRadius(d) => {
-                let players: Vec<u32> = (0..self.instance.players() as u32).collect();
-                let objects: Vec<u32> = (0..self.instance.objects() as u32).collect();
+                let players: Vec<u32> = (0..n as u32).collect();
+                let objects: Vec<u32> = (0..m as u32).collect();
                 byzscore_blocks::small_radius(&ctx, &players, &objects, d, &[0xd1])
             }
         };
@@ -173,7 +235,12 @@ impl<'a> ScoringSystem<'a> {
 
         let output = BitMatrix::from_rows(&rows);
         let honest_mask = behaviors.honest_mask();
-        let errors = error_report(&output, truth, Some(&honest_mask));
+        let errors = ErrorReport::from_errors(
+            (0..n)
+                .filter(|&p| honest_mask[p])
+                .map(|p| output.row(p).hamming(&self.truth.row(p as u32)))
+                .collect(),
+        );
         let probes = oracle.snapshot();
         let max_honest_probes = probes.max_where(&honest_mask);
 
@@ -184,14 +251,149 @@ impl<'a> ScoringSystem<'a> {
             probes,
             max_honest_probes,
             board: board.stats(),
+            memoized_probes: oracle.is_memoized(),
             elapsed,
             repetitions,
             dishonest_count: behaviors.dishonest_count(),
         }
     }
+
+    /// Execute every sweep point, in parallel under the process-wide
+    /// [`byzscore_board::par::set_thread_limit`] budget.
+    ///
+    /// Each point is an independent pure function of `(self, point)` — its
+    /// own oracle, board, and seed-derived randomness — so results are
+    /// returned in point order and are bit-identical to sequential
+    /// [`Session::run`] calls under any thread count (`tests/determinism.rs`
+    /// pins this).
+    pub fn run_sweep(&self, points: &[SweepPoint]) -> Vec<Outcome> {
+        par_map_coarse(points, |pt| self.run(pt.algorithm, pt.seed))
+    }
 }
 
-static GREEDY_DEFAULT: GreedyInfiltrate = GreedyInfiltrate;
+/// Builder for [`Session`] — substrate first, then parameters and
+/// adversaries, then [`SessionBuilder::build`].
+pub struct SessionBuilder {
+    truth: Option<Arc<dyn TruthSource>>,
+    planted: Option<Planted>,
+    params: Option<ProtocolParams>,
+    corruption: Corruption,
+    strategy: Option<Arc<dyn Strategy>>,
+    election_adversary: Option<Arc<dyn BinStrategy>>,
+}
+
+impl SessionBuilder {
+    /// Use a generated [`Instance`] as the world: its truth matrix becomes
+    /// an owned [`DenseTruth`] and its planted structure carries over.
+    pub fn instance(mut self, instance: &Instance) -> Self {
+        self.truth = Some(Arc::new(DenseTruth::new(instance.truth().clone())));
+        self.planted = instance.planted().cloned();
+        self
+    }
+
+    /// Use any truth source (a `&BitMatrix` is cloned into a
+    /// [`DenseTruth`]; pass an `Arc<dyn TruthSource>` to share).
+    pub fn truth(mut self, truth: impl IntoTruthSource) -> Self {
+        self.truth = Some(truth.into_truth_source());
+        self
+    }
+
+    /// Use the `O(1)`-memory [`ProceduralTruth`] backend over `spec`; the
+    /// spec's cluster structure is recorded as planted metadata so skyline
+    /// baselines and `InCluster` corruption keep working.
+    pub fn procedural(mut self, spec: ClusterSpec) -> Self {
+        let source = ProceduralTruth::new(spec);
+        self.planted = Some(procedural_planted(&source));
+        self.truth = Some(Arc::new(source));
+        self
+    }
+
+    /// Dense twin of [`SessionBuilder::procedural`]: materialize `spec`
+    /// into a [`DenseTruth`] with identical bits and planted metadata.
+    /// Exists so backend-equivalence checks (and dense-only metrics) can
+    /// run the same world on both substrates.
+    pub fn procedural_dense(mut self, spec: ClusterSpec) -> Self {
+        let source = ProceduralTruth::new(spec);
+        self.planted = Some(procedural_planted(&source));
+        self.truth = Some(Arc::new(DenseTruth::new(source.materialize())));
+        self
+    }
+
+    /// Override the planted structure (e.g. for custom truth sources).
+    pub fn planted(mut self, planted: Planted) -> Self {
+        self.planted = Some(planted);
+        self
+    }
+
+    /// Protocol parameters (default: [`ProtocolParams::with_budget`]`(8)`).
+    pub fn params(mut self, params: ProtocolParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Shorthand for `.params(ProtocolParams::with_budget(b))`.
+    pub fn budget(self, b: usize) -> Self {
+        self.params(ProtocolParams::with_budget(b))
+    }
+
+    /// Install a corruption model and dishonest strategy.
+    pub fn adversary(self, corruption: Corruption, strategy: impl Strategy + 'static) -> Self {
+        self.adversary_shared(corruption, Arc::new(strategy))
+    }
+
+    /// [`SessionBuilder::adversary`] with an already-shared strategy.
+    pub fn adversary_shared(mut self, corruption: Corruption, strategy: Arc<dyn Strategy>) -> Self {
+        self.corruption = corruption;
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Override how dishonest players play the leader election.
+    pub fn election_adversary(mut self, adversary: impl BinStrategy + 'static) -> Self {
+        self.election_adversary = Some(Arc::new(adversary));
+        self
+    }
+
+    /// [`SessionBuilder::election_adversary`] with an already-shared
+    /// strategy.
+    pub fn election_adversary_shared(mut self, adversary: Arc<dyn BinStrategy>) -> Self {
+        self.election_adversary = Some(adversary);
+        self
+    }
+
+    /// Finish. Panics if no truth source was supplied.
+    pub fn build(self) -> Session {
+        let truth = self
+            .truth
+            .expect("SessionBuilder: set a world first (instance/truth/procedural)");
+        Session {
+            truth,
+            planted: self.planted,
+            params: self
+                .params
+                .unwrap_or_else(|| ProtocolParams::with_budget(8)),
+            corruption: self.corruption,
+            strategy: self
+                .strategy
+                .unwrap_or_else(|| Arc::new(Truthful) as Arc<dyn Strategy>),
+            election_adversary: self
+                .election_adversary
+                .unwrap_or_else(|| Arc::new(GreedyInfiltrate) as Arc<dyn BinStrategy>),
+        }
+    }
+}
+
+/// Planted metadata of a procedural cluster spec (assignment, members,
+/// centers), identical to what the dense twin would record.
+fn procedural_planted(source: &ProceduralTruth) -> Planted {
+    Planted {
+        assignment: source.assignment(),
+        clusters: source.clusters(),
+        centers: source.centers().to_vec(),
+        target_diameter: source.spec().diameter,
+        special_objects: None,
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -210,11 +412,13 @@ mod tests {
         .generate(5)
     }
 
+    fn session() -> Session {
+        Session::builder().instance(&instance()).budget(4).build()
+    }
+
     #[test]
     fn runner_measures_everything() {
-        let inst = instance();
-        let outcome = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
-            .run(Algorithm::CalculatePreferences, 1);
+        let outcome = session().run(Algorithm::CalculatePreferences, 1);
         assert_eq!(outcome.algorithm, "calculate-preferences");
         assert_eq!(outcome.output.rows(), 64);
         assert!(outcome.errors.max <= 16, "error {}", outcome.errors.max);
@@ -226,8 +430,7 @@ mod tests {
 
     #[test]
     fn runner_is_deterministic_in_seed() {
-        let inst = instance();
-        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+        let sys = session();
         let a = sys.run(Algorithm::CalculatePreferences, 9);
         let b = sys.run(Algorithm::CalculatePreferences, 9);
         assert_eq!(a.output, b.output);
@@ -237,8 +440,11 @@ mod tests {
     #[test]
     fn adversarial_runner_excludes_dishonest_from_errors() {
         let inst = instance();
-        let outcome = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
-            .with_adversary(Corruption::Count { count: 5 }, &Inverter)
+        let outcome = Session::builder()
+            .instance(&inst)
+            .budget(4)
+            .adversary(Corruption::Count { count: 5 }, Inverter)
+            .build()
             .run(Algorithm::GlobalMajority, 3);
         assert_eq!(outcome.dishonest_count, 5);
         assert_eq!(outcome.errors.evaluated, 59);
@@ -246,8 +452,7 @@ mod tests {
 
     #[test]
     fn all_algorithms_run() {
-        let inst = instance();
-        let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+        let sys = session();
         for alg in [
             Algorithm::Solo,
             Algorithm::GlobalMajority,
@@ -258,5 +463,51 @@ mod tests {
             let out = sys.run(alg, 2);
             assert_eq!(out.output.rows(), 64, "{}", alg.name());
         }
+    }
+
+    #[test]
+    fn board_posts_are_retired_down_to_a_peak() {
+        let out = session().run(Algorithm::CalculatePreferences, 4);
+        assert!(out.board.retired_scopes > 0, "no scope was retired");
+        assert!(
+            out.board.peak_claim_slots < out.board.claim_posts,
+            "peak {} should sit below cumulative posts {}",
+            out.board.peak_claim_slots,
+            out.board.claim_posts
+        );
+    }
+
+    #[test]
+    fn run_sweep_matches_run() {
+        let sys = session();
+        let points = [
+            SweepPoint::new(Algorithm::CalculatePreferences, 11),
+            SweepPoint::new(Algorithm::GlobalMajority, 12),
+            (Algorithm::Solo, 13).into(),
+        ];
+        let swept = sys.run_sweep(&points);
+        assert_eq!(swept.len(), 3);
+        for (pt, out) in points.iter().zip(&swept) {
+            let direct = sys.run(pt.algorithm, pt.seed);
+            assert_eq!(out.output, direct.output, "{}", pt.algorithm.name());
+            assert_eq!(out.probes.counts(), direct.probes.counts());
+            assert_eq!(out.board, direct.board);
+        }
+    }
+
+    #[test]
+    fn procedural_session_runs_without_matrix() {
+        let spec = ClusterSpec {
+            players: 96,
+            objects: 128,
+            clusters: 4,
+            diameter: 6,
+            seed: 21,
+        };
+        let sys = Session::builder().procedural(spec).budget(4).build();
+        assert_eq!(sys.players(), 96);
+        assert_eq!(sys.planted().unwrap().clusters.len(), 4);
+        let out = sys.run(Algorithm::OracleClusters, 5);
+        assert!(out.errors.max <= 12, "skyline error {}", out.errors.max);
     }
 }

@@ -70,7 +70,9 @@ fn cluster_majority(
     if members.is_empty() {
         return BitVec::zeros(n_objects);
     }
-    let scope = scope_id(&[scope_path, &[tags::ASSIGN, cluster_index as u64]].concat());
+    let scope = ctx
+        .board
+        .scope(&[scope_path, &[tags::ASSIGN, cluster_index as u64]].concat());
     let path_tag = scope_id(scope_path);
     let mut counter = ColumnCounter::new(n_objects);
     let k = reps.min(members.len()).max(1);
@@ -109,7 +111,7 @@ fn cluster_majority(
             } else {
                 ctx.oracle.probe(p, o)
             };
-            ctx.board.post_claim(scope, p, o, claim);
+            scope.post_claim(p, o, claim);
             counter.add_bit(o as usize, claim, 1);
         }
     }

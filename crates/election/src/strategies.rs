@@ -8,7 +8,7 @@ use rand::Rng;
 /// The adversary is *rushing*: it sees `honest_counts` (how many honest
 /// survivors chose each bin this round) before choosing, and places all of
 /// its `survivors` balls at once.
-pub trait BinStrategy: Sync {
+pub trait BinStrategy: Send + Sync {
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
 

@@ -7,7 +7,7 @@
 //! cargo run -p byzscore-examples --release --example movie_night
 //! ```
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, ProtocolParams, Session};
 use byzscore_model::{Balance, Workload};
 
 fn main() {
@@ -58,8 +58,11 @@ fn main() {
 
     for (label, workload) in worlds {
         let instance = workload.generate(4242);
-        let outcome =
-            ScoringSystem::new(&instance, params.clone()).run(Algorithm::CalculatePreferences, 5);
+        let outcome = Session::builder()
+            .instance(&instance)
+            .params(params.clone())
+            .build()
+            .run(Algorithm::CalculatePreferences, 5);
         let per_person = movies as f64;
         println!(
             "{label:>38}: worst {:>3} wrong ({:>4.1}%), mean {:>6.2}, probes ≤ {}",

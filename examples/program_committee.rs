@@ -12,7 +12,7 @@
 //! cargo run -p byzscore-examples --release --example program_committee
 //! ```
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, ProtocolParams, Session, SweepPoint};
 use byzscore_adversary::{Corruption, RandomLiar};
 use byzscore_model::{Balance, Workload};
 
@@ -38,15 +38,22 @@ fn main() {
     let params = ProtocolParams::with_budget(5);
     println!("== PC meeting: {reviewers} reviewers, {submissions} submissions, 6 busy ==\n");
 
-    for alg in [
+    let session = Session::builder()
+        .instance(&instance)
+        .params(params.clone())
+        .adversary(corruption.clone(), busy)
+        .build();
+    // All four algorithms are independent: sweep them in parallel.
+    let points: Vec<SweepPoint> = [
         Algorithm::Solo,
         Algorithm::GlobalMajority,
         Algorithm::CalculatePreferences,
         Algorithm::Robust,
-    ] {
-        let outcome = ScoringSystem::new(&instance, params.clone())
-            .with_adversary(corruption.clone(), &busy)
-            .run(alg, 99);
+    ]
+    .into_iter()
+    .map(|alg| SweepPoint::new(alg, 99))
+    .collect();
+    for outcome in session.run_sweep(&points) {
         println!(
             "{:>24}: worst reviewer is wrong on {:>3} of {} submissions \
              (mean {:>6.2}), reading {:>5} papers max",

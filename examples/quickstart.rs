@@ -5,7 +5,7 @@
 //! cargo run -p byzscore-examples --release --example quickstart
 //! ```
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, ProtocolParams, Session};
 use byzscore_model::metrics::opt_bounds;
 use byzscore_model::{Balance, Workload};
 
@@ -23,8 +23,10 @@ fn main() {
 
     // Budget B = 4: every player is happy to evaluate ~B·polylog(n) objects,
     // and expects a cluster of ≥ n/B = 32 like-minded players to exist.
-    let params = ProtocolParams::with_budget(4);
-    let system = ScoringSystem::new(&instance, params);
+    let system = Session::builder()
+        .instance(&instance)
+        .params(ProtocolParams::with_budget(4))
+        .build();
 
     println!(
         "running CalculatePreferences (Figure 2) on {} players…",

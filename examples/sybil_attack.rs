@@ -7,7 +7,9 @@
 //! cargo run -p byzscore-examples --release --example sybil_attack
 //! ```
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use std::sync::Arc;
+
+use byzscore::{Algorithm, ProtocolParams, Session};
 use byzscore_adversary::{AntiMajority, ClusterHijacker, Corruption, Inverter, Sleeper, Strategy};
 use byzscore_election::{GreedyInfiltrate, StallForcer};
 use byzscore_model::{Balance, Workload};
@@ -32,26 +34,25 @@ fn main() {
     println!("paper tolerance: n/(3B) = {threshold} dishonest players\n");
 
     let victim = instance.planted().unwrap().clusters[0][0];
-    let hijacker = ClusterHijacker { victim };
-    let attacks: Vec<(&str, &dyn Strategy, Corruption)> = vec![
+    let attacks: Vec<(&str, Arc<dyn Strategy>, Corruption)> = vec![
         (
             "inverters (random seats)",
-            &Inverter,
+            Arc::new(Inverter),
             Corruption::Count { count: threshold },
         ),
         (
             "anti-majority colluders",
-            &AntiMajority,
+            Arc::new(AntiMajority),
             Corruption::Count { count: threshold },
         ),
         (
             "sleeper agents",
-            &Sleeper,
+            Arc::new(Sleeper),
             Corruption::Count { count: threshold },
         ),
         (
             "cluster hijack on one victim",
-            &hijacker,
+            Arc::new(ClusterHijacker { victim }),
             Corruption::InCluster {
                 cluster: 0,
                 count: threshold / 2,
@@ -61,9 +62,12 @@ fn main() {
 
     let params = ProtocolParams::with_budget(budget);
     for (label, strategy, corruption) in attacks {
-        let outcome = ScoringSystem::new(&instance, params.clone())
-            .with_adversary(corruption, strategy)
-            .with_election_adversary(&GreedyInfiltrate)
+        let outcome = Session::builder()
+            .instance(&instance)
+            .params(params.clone())
+            .adversary_shared(corruption, strategy)
+            .election_adversary(GreedyInfiltrate)
+            .build()
             .run(Algorithm::Robust, 71);
         let honest_leaders = outcome
             .repetitions
@@ -80,9 +84,12 @@ fn main() {
     }
 
     // And the election-stalling adversary, for completeness.
-    let outcome = ScoringSystem::new(&instance, params.clone())
-        .with_adversary(Corruption::Count { count: threshold }, &Inverter)
-        .with_election_adversary(&StallForcer)
+    let outcome = Session::builder()
+        .instance(&instance)
+        .params(params.clone())
+        .adversary(Corruption::Count { count: threshold }, Inverter)
+        .election_adversary(StallForcer)
+        .build()
         .run(Algorithm::Robust, 73);
     println!(
         "{:>30}: worst honest error {:>3} (stalled elections: {})",

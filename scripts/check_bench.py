@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a byzscore-bench JSON artifact against the committed baseline.
+
+Usage: check_bench.py BASELINE.json CURRENT.json
+
+Every experiment run is a pure function of its seeds (the determinism test
+suite enforces bit-identity across thread counts), so probe counts and
+error statistics must match the baseline *exactly* up to float formatting.
+Timing columns (headers containing "elapsed", "ms", or "seconds") are
+skipped, as are table notes (they embed derived slopes already covered by
+the numeric cells). Any other cell drift fails the check loudly — that is
+the point: accuracy or probe-complexity regressions must not land
+silently (ROADMAP "perf baseline tracking").
+"""
+
+import json
+import sys
+
+# Numeric cells are compared with a tiny relative tolerance: values are
+# deterministic, but libm `ln` may differ in the last ulp across hosts and
+# the cells carry only 2-3 formatted decimals anyway.
+REL_TOL = 1e-6
+
+TIMING_MARKERS = ("elapsed", " ms", "seconds")
+
+
+def is_timing(header: str) -> bool:
+    h = header.lower()
+    return h == "ms" or any(marker in h for marker in TIMING_MARKERS)
+
+
+def cells_match(a: str, b: str) -> bool:
+    if a == b:
+        return True
+    try:
+        fa, fb = float(a), float(b)
+    except ValueError:
+        return False
+    return abs(fa - fb) <= REL_TOL * max(1.0, abs(fa), abs(fb))
+
+
+def index_tables(doc):
+    out = {}
+    for exp in doc["experiments"]:
+        for table in exp["tables"]:
+            out[(exp["id"], table["title"])] = table
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    base_tables = index_tables(baseline)
+    cur_tables = index_tables(current)
+    failures = []
+
+    for key, base in sorted(base_tables.items()):
+        exp_id, title = key
+        cur = cur_tables.get(key)
+        if cur is None:
+            failures.append(f"[{exp_id}] table missing: {title!r}")
+            continue
+        if cur["headers"] != base["headers"]:
+            failures.append(f"[{exp_id}] headers changed in {title!r}")
+            continue
+        if len(cur["rows"]) != len(base["rows"]):
+            failures.append(
+                f"[{exp_id}] row count {len(cur['rows'])} != baseline "
+                f"{len(base['rows'])} in {title!r}"
+            )
+            continue
+        for r, (brow, crow) in enumerate(zip(base["rows"], cur["rows"])):
+            for header, bcell, ccell in zip(base["headers"], brow, crow):
+                if is_timing(header):
+                    continue
+                if not cells_match(bcell, ccell):
+                    failures.append(
+                        f"[{exp_id}] {title!r} row {r} col {header!r}: "
+                        f"baseline {bcell!r} != current {ccell!r}"
+                    )
+
+    for key in sorted(set(cur_tables) - set(base_tables)):
+        print(f"note: new table not in baseline (regenerate it): {key}")
+
+    if failures:
+        print(f"BENCH REGRESSION: {len(failures)} mismatch(es)")
+        for f_ in failures[:50]:
+            print("  " + f_)
+        if len(failures) > 50:
+            print(f"  ... and {len(failures) - 50} more")
+        print(
+            "If the change is intentional, regenerate the baseline:\n"
+            "  cargo run --release -p byzscore-bench --bin run_all -- "
+            "--scale quick --threads 2 --json BENCH_baseline.json"
+        )
+        sys.exit(1)
+    print(
+        f"bench check OK: {len(base_tables)} table(s) match the baseline "
+        "(timing columns skipped)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,9 @@
 //! Byzantine integration: Theorem 14's tolerance across strategies,
 //! corruption levels, and the election-based robust wrapper.
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use std::sync::Arc;
+
+use byzscore::{Algorithm, ProtocolParams, Session};
 use byzscore_adversary::{
     AntiMajority, ClusterHijacker, Corruption, Inverter, RandomLiar, Sleeper, Strategy,
 };
@@ -22,10 +24,13 @@ fn world(d: usize, seed: u64) -> Instance {
 const D: usize = 8;
 const BUDGET: usize = 4;
 
-fn run_attack(strategy: &dyn Strategy, count: usize, seed: u64) -> usize {
+fn run_attack(strategy: Arc<dyn Strategy>, count: usize, seed: u64) -> usize {
     let inst = world(D, seed);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
-        .with_adversary(Corruption::Count { count }, strategy)
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(BUDGET))
+        .adversary_shared(Corruption::Count { count }, strategy)
+        .build()
         .run(Algorithm::CalculatePreferences, seed + 100);
     out.errors.max
 }
@@ -33,14 +38,14 @@ fn run_attack(strategy: &dyn Strategy, count: usize, seed: u64) -> usize {
 #[test]
 fn inverters_at_threshold_tolerated() {
     let threshold = Corruption::paper_threshold(120, BUDGET); // 10
-    let err = run_attack(&Inverter, threshold, 1);
+    let err = run_attack(Arc::new(Inverter), threshold, 1);
     assert!(err <= 6 * D, "inverters at threshold: error {err}");
 }
 
 #[test]
 fn anti_majority_at_threshold_tolerated() {
     let threshold = Corruption::paper_threshold(120, BUDGET);
-    let err = run_attack(&AntiMajority, threshold, 2);
+    let err = run_attack(Arc::new(AntiMajority), threshold, 2);
     assert!(err <= 8 * D, "anti-majority at threshold: error {err}");
 }
 
@@ -48,14 +53,14 @@ fn anti_majority_at_threshold_tolerated() {
 fn random_liars_at_threshold_tolerated() {
     let threshold = Corruption::paper_threshold(120, BUDGET);
     let liar = RandomLiar { flip_prob: 0.5 };
-    let err = run_attack(&liar, threshold, 3);
+    let err = run_attack(Arc::new(liar), threshold, 3);
     assert!(err <= 6 * D, "random liars at threshold: error {err}");
 }
 
 #[test]
 fn sleepers_at_threshold_tolerated() {
     let threshold = Corruption::paper_threshold(120, BUDGET);
-    let err = run_attack(&Sleeper, threshold, 4);
+    let err = run_attack(Arc::new(Sleeper), threshold, 4);
     assert!(err <= 6 * D, "sleepers at threshold: error {err}");
 }
 
@@ -64,8 +69,8 @@ fn far_beyond_threshold_degrades() {
     // 4× the tolerance: the guarantee is void; verify the experiment can
     // actually distinguish the regimes (error grows well past O(D)).
     let threshold = Corruption::paper_threshold(120, BUDGET);
-    let small = run_attack(&AntiMajority, threshold / 2, 5);
-    let large = run_attack(&AntiMajority, 4 * threshold, 5);
+    let small = run_attack(Arc::new(AntiMajority), threshold / 2, 5);
+    let large = run_attack(Arc::new(AntiMajority), 4 * threshold, 5);
     assert!(
         large > small,
         "4× threshold ({large}) should beat half threshold ({small})"
@@ -77,16 +82,18 @@ fn far_beyond_threshold_degrades() {
 fn hijackers_below_cluster_third_tolerated() {
     let inst = world(D, 6);
     let victim = inst.planted().unwrap().clusters[0][0];
-    let strategy = ClusterHijacker { victim };
     // Cluster size 30; 7 hijackers < 1/3 of the cluster.
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
-        .with_adversary(
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(BUDGET))
+        .adversary(
             Corruption::InCluster {
                 cluster: 0,
                 count: 7,
             },
-            &strategy,
+            ClusterHijacker { victim },
         )
+        .build()
         .run(Algorithm::CalculatePreferences, 7);
     assert!(
         out.errors.max <= 8 * D,
@@ -102,13 +109,16 @@ fn robust_mode_survives_election_attacks() {
     for (name, election_adv) in [
         (
             "greedy",
-            &GreedyInfiltrate as &dyn byzscore_election::BinStrategy,
+            Arc::new(GreedyInfiltrate) as Arc<dyn byzscore_election::BinStrategy>,
         ),
-        ("stall", &StallForcer),
+        ("stall", Arc::new(StallForcer)),
     ] {
-        let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
-            .with_adversary(Corruption::Count { count: threshold }, &Inverter)
-            .with_election_adversary(election_adv)
+        let out = Session::builder()
+            .instance(&inst)
+            .params(ProtocolParams::with_budget(BUDGET))
+            .adversary(Corruption::Count { count: threshold }, Inverter)
+            .election_adversary_shared(election_adv)
+            .build()
             .run(Algorithm::Robust, 9);
         assert!(
             out.errors.max <= 6 * D,
@@ -122,8 +132,11 @@ fn robust_mode_survives_election_attacks() {
 #[test]
 fn dishonest_players_are_excluded_from_guarantees() {
     let inst = world(D, 10);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
-        .with_adversary(Corruption::Count { count: 10 }, &Inverter)
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(BUDGET))
+        .adversary(Corruption::Count { count: 10 }, Inverter)
+        .build()
         .run(Algorithm::CalculatePreferences, 11);
     assert_eq!(out.errors.evaluated, 110, "only honest players evaluated");
     assert_eq!(out.dishonest_count, 10);
@@ -132,10 +145,16 @@ fn dishonest_players_are_excluded_from_guarantees() {
 #[test]
 fn zero_corruption_equals_corruption_none() {
     let inst = world(D, 12);
-    let a = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
+    let a = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(BUDGET))
+        .build()
         .run(Algorithm::CalculatePreferences, 13);
-    let b = ScoringSystem::new(&inst, ProtocolParams::with_budget(BUDGET))
-        .with_adversary(Corruption::Count { count: 0 }, &Inverter)
+    let b = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(BUDGET))
+        .adversary(Corruption::Count { count: 0 }, Inverter)
+        .build()
         .run(Algorithm::CalculatePreferences, 13);
     assert_eq!(a.output, b.output, "empty corruption must be a no-op");
 }

@@ -2,7 +2,7 @@
 //! seed), independent of thread scheduling — the property all experiment
 //! tables rely on.
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, Session, SweepPoint};
 use byzscore_adversary::{Corruption, Inverter};
 use byzscore_election::{elect, ElectionParams, GreedyInfiltrate};
 use byzscore_model::{Balance, Workload};
@@ -21,7 +21,7 @@ fn world(seed: u64) -> byzscore_model::Instance {
 #[test]
 fn calculate_preferences_is_deterministic() {
     let inst = world(1);
-    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let sys = Session::builder().instance(&inst).budget(4).build();
     let a = sys.run(Algorithm::CalculatePreferences, 42);
     let b = sys.run(Algorithm::CalculatePreferences, 42);
     assert_eq!(a.output, b.output);
@@ -32,7 +32,7 @@ fn calculate_preferences_is_deterministic() {
 #[test]
 fn robust_mode_is_deterministic() {
     let inst = world(2);
-    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let sys = Session::builder().instance(&inst).budget(4).build();
     let a = sys.run(Algorithm::Robust, 43);
     let b = sys.run(Algorithm::Robust, 43);
     assert_eq!(a.output, b.output);
@@ -45,8 +45,11 @@ fn robust_mode_is_deterministic() {
 fn byzantine_runs_are_deterministic() {
     let inst = world(3);
     let run = || {
-        ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
-            .with_adversary(Corruption::Count { count: 8 }, &Inverter)
+        Session::builder()
+            .instance(&inst)
+            .budget(4)
+            .adversary(Corruption::Count { count: 8 }, Inverter)
+            .build()
             .run(Algorithm::CalculatePreferences, 44)
     };
     assert_eq!(run().output, run().output);
@@ -67,7 +70,7 @@ fn different_seeds_differ() {
 
     // And the protocol outputs remain a pure function of the seed.
     let inst = world(4);
-    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let sys = Session::builder().instance(&inst).budget(4).build();
     let a = sys.run(Algorithm::CalculatePreferences, 1);
     let a2 = sys.run(Algorithm::CalculatePreferences, 1);
     assert_eq!(a.output, a2.output);
@@ -76,7 +79,7 @@ fn different_seeds_differ() {
 #[test]
 fn baselines_are_deterministic() {
     let inst = world(5);
-    let sys = ScoringSystem::new(&inst, ProtocolParams::with_budget(4));
+    let sys = Session::builder().instance(&inst).budget(4).build();
     for alg in [
         Algorithm::NaiveSampling,
         Algorithm::Solo,
@@ -101,6 +104,11 @@ fn elections_are_deterministic_and_seed_sensitive() {
     assert!(different, "leader should vary across seeds");
 }
 
+/// `set_thread_limit` is process-global; tests that sweep it must not
+/// interleave or each would run under the other's limit. (Poisoning is
+/// ignored: a panicked holder already failed its own assertions.)
+static THREAD_LIMIT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn results_are_identical_across_worker_thread_counts() {
     // The engine's `--threads` override must never change results: a
@@ -110,10 +118,16 @@ fn results_are_identical_across_worker_thread_counts() {
     // invariant that outputs are collected by player index.
     use byzscore_board::par::{par_map_players, set_thread_limit};
 
+    let _gate = THREAD_LIMIT_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let inst = world(8);
     let run = || {
-        ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
-            .with_adversary(Corruption::Count { count: 8 }, &Inverter)
+        Session::builder()
+            .instance(&inst)
+            .budget(4)
+            .adversary(Corruption::Count { count: 8 }, Inverter)
+            .build()
             .run(Algorithm::Robust, 46)
     };
 
@@ -143,6 +157,89 @@ fn results_are_identical_across_worker_thread_counts() {
             ref_direct,
             "par_map_players order differs at {threads} worker thread(s)"
         );
+    }
+    set_thread_limit(None);
+}
+
+#[test]
+fn run_sweep_is_bit_identical_across_thread_counts() {
+    // Parallel sweep points must not perturb per-point RNG streams: a
+    // `run_sweep` over mixed algorithms has to match sequential `run` calls
+    // and be bit-identical under 1, 2, and 8 worker threads (the same fence
+    // `results_are_identical_across_worker_thread_counts` provides for
+    // intra-run phase parallelism).
+    use byzscore::ClusterSpec;
+    use byzscore_board::par::set_thread_limit;
+
+    let _gate = THREAD_LIMIT_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let inst = world(9);
+    let session = Session::builder()
+        .instance(&inst)
+        .budget(4)
+        .adversary(Corruption::Count { count: 8 }, Inverter)
+        .build();
+    let points = [
+        SweepPoint::new(Algorithm::CalculatePreferences, 50),
+        SweepPoint::new(Algorithm::CalculatePreferences, 51),
+        SweepPoint::new(Algorithm::GlobalMajority, 52),
+        SweepPoint::new(Algorithm::Solo, 53),
+        SweepPoint::new(Algorithm::NaiveSampling, 54),
+    ];
+    // Reference: strictly sequential executions.
+    let reference: Vec<_> = points
+        .iter()
+        .map(|pt| session.run(pt.algorithm, pt.seed))
+        .collect();
+
+    for threads in [1usize, 2, 8] {
+        set_thread_limit(Some(threads));
+        let swept = session.run_sweep(&points);
+        for ((pt, re), out) in points.iter().zip(&reference).zip(&swept) {
+            assert_eq!(
+                out.output,
+                re.output,
+                "{} output differs at {threads} worker thread(s)",
+                pt.algorithm.name()
+            );
+            assert_eq!(
+                out.probes.counts(),
+                re.probes.counts(),
+                "{} probe ledger differs at {threads} worker thread(s)",
+                pt.algorithm.name()
+            );
+            assert_eq!(
+                out.board,
+                re.board,
+                "{} board stats differ at {threads} worker thread(s)",
+                pt.algorithm.name()
+            );
+        }
+    }
+    set_thread_limit(None);
+
+    // The procedural backend obeys the same invariant.
+    let spec = ClusterSpec {
+        players: 96,
+        objects: 128,
+        clusters: 4,
+        diameter: 6,
+        seed: 0x5eed,
+    };
+    let proc_session = Session::builder().procedural(spec).budget(4).build();
+    let proc_points = [
+        SweepPoint::new(Algorithm::GlobalMajority, 60),
+        SweepPoint::new(Algorithm::Solo, 61),
+    ];
+    let proc_ref = proc_session.run_sweep(&proc_points);
+    for threads in [1usize, 8] {
+        set_thread_limit(Some(threads));
+        let swept = proc_session.run_sweep(&proc_points);
+        for (re, out) in proc_ref.iter().zip(&swept) {
+            assert_eq!(out.output, re.output);
+            assert_eq!(out.probes.counts(), re.probes.counts());
+        }
     }
     set_thread_limit(None);
 }

@@ -1,6 +1,6 @@
 //! End-to-end integration: the full public API across crates, honest runs.
 
-use byzscore::{Algorithm, ProtocolParams, ScoringSystem};
+use byzscore::{Algorithm, ProtocolParams, Session};
 use byzscore_model::metrics::{approx_ratios, opt_bounds};
 use byzscore_model::{Balance, Workload};
 
@@ -15,7 +15,10 @@ fn planted_world_error_is_order_d() {
         balance: Balance::Even,
     }
     .generate(1);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(4))
+        .build()
         .run(Algorithm::CalculatePreferences, 2);
     assert!(out.errors.max <= 5 * d, "error {} > 5D", out.errors.max);
     assert!(out.errors.mean <= d as f64, "mean {} > D", out.errors.mean);
@@ -31,7 +34,10 @@ fn constant_factor_approximation_of_opt() {
         balance: Balance::Even,
     }
     .generate(3);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(4))
+        .build()
         .run(Algorithm::CalculatePreferences, 4);
     let bounds = opt_bounds(inst.truth(), 96 / 4);
     let (_, vs_upper) = approx_ratios(&out.errors.per_player, &bounds);
@@ -55,7 +61,10 @@ fn skewed_cluster_sizes_work() {
     .generate(5);
     // Budget must match the *smallest* cluster; Zipf(1.0) over 4 clusters
     // keeps every cluster ≥ players/8.
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(8))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(8))
+        .build()
         .run(Algorithm::CalculatePreferences, 6);
     assert!(out.errors.max <= 6 * 6, "zipf error {}", out.errors.max);
 }
@@ -69,7 +78,10 @@ fn uniform_random_world_defeats_everyone() {
         objects: 128,
     }
     .generate(7);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(4))
+        .build()
         .run(Algorithm::CalculatePreferences, 8);
     assert_eq!(out.output.rows(), 64);
     // Nobody can predict independent coin flips: expect ≈ m/2 errors for
@@ -88,7 +100,10 @@ fn anticorrelated_camps_are_separated() {
         objects: 240,
     }
     .generate(9);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(2))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(2))
+        .build()
         .run(Algorithm::CalculatePreferences, 10);
     // Exact camps: clustering should recover them and the majority is exact.
     assert!(
@@ -109,7 +124,10 @@ fn more_objects_than_players_generalizes() {
         balance: Balance::Even,
     }
     .generate(11);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(4))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(4))
+        .build()
         .run(Algorithm::CalculatePreferences, 12);
     assert_eq!(out.output.cols(), 512);
     assert!(out.errors.max <= 6 * 6, "error {}", out.errors.max);
@@ -129,7 +147,10 @@ fn probe_budget_is_respected_loosely() {
     }
     .generate(13);
     let b = 4;
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(b))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(b))
+        .build()
         .run(Algorithm::CalculatePreferences, 14);
     let ln = (n as f64).ln();
     let envelope = 40.0 * b as f64 * ln.powi(3);
@@ -151,7 +172,10 @@ fn paper_faithful_preset_runs() {
         balance: Balance::Even,
     }
     .generate(15);
-    let out = ScoringSystem::new(&inst, ProtocolParams::paper_faithful(2))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::paper_faithful(2))
+        .build()
         .run(Algorithm::CalculatePreferences, 16);
     assert_eq!(out.output.rows(), 48);
     // At n=48 the 220·ln n threshold exceeds the object count, so the
@@ -168,7 +192,10 @@ fn outcome_reports_are_consistent() {
         balance: Balance::Even,
     }
     .generate(17);
-    let out = ScoringSystem::new(&inst, ProtocolParams::with_budget(2))
+    let out = Session::builder()
+        .instance(&inst)
+        .params(ProtocolParams::with_budget(2))
+        .build()
         .run(Algorithm::CalculatePreferences, 18);
     assert_eq!(out.errors.per_player.len(), 32);
     assert_eq!(out.probes.counts().len(), 32);

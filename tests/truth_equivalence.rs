@@ -1,0 +1,124 @@
+//! Substrate-backend equivalence: `ProceduralTruth` and `DenseTruth` built
+//! from the same [`ClusterSpec`] must produce **bit-identical** outcomes —
+//! outputs, probe ledgers, and board traffic — for every registry
+//! algorithm. This is the contract that makes the `O(1)`-memory backend a
+//! drop-in substrate: nothing downstream may observe which backend it runs
+//! on.
+
+use byzscore::{Algorithm, ClusterSpec, ProtocolParams, Session};
+use byzscore_adversary::{Corruption, Inverter};
+
+fn spec(n: usize) -> ClusterSpec {
+    ClusterSpec {
+        players: n,
+        objects: n,
+        clusters: 4,
+        diameter: 8,
+        seed: 0x77aa + n as u64,
+    }
+}
+
+/// Procedural session and its dense twin over the same spec.
+fn twin_sessions(n: usize) -> (Session, Session) {
+    let params = ProtocolParams::with_budget(4);
+    let procedural = Session::builder()
+        .procedural(spec(n))
+        .params(params.clone())
+        .build();
+    let dense = Session::builder()
+        .procedural_dense(spec(n))
+        .params(params)
+        .build();
+    (procedural, dense)
+}
+
+fn assert_equivalent(n: usize, algorithms: &[Algorithm]) {
+    let (procedural, dense) = twin_sessions(n);
+    for &alg in algorithms {
+        let a = procedural.run(alg, 9);
+        let b = dense.run(alg, 9);
+        assert_eq!(a.output, b.output, "{} output differs at n={n}", alg.name());
+        assert_eq!(
+            a.probes.counts(),
+            b.probes.counts(),
+            "{} probe ledger differs at n={n}",
+            alg.name()
+        );
+        assert_eq!(
+            a.board,
+            b.board,
+            "{} board stats differ at n={n}",
+            alg.name()
+        );
+        assert_eq!(a.errors.per_player, b.errors.per_player);
+        if alg == Algorithm::Robust {
+            let leaders_a: Vec<u32> = a.repetitions.iter().map(|r| r.leader).collect();
+            let leaders_b: Vec<u32> = b.repetitions.iter().map(|r| r.leader).collect();
+            assert_eq!(leaders_a, leaders_b, "election transcript differs");
+        }
+    }
+}
+
+/// Every registry algorithm, both sizes the issue pins.
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::CalculatePreferences,
+        Algorithm::Robust,
+        Algorithm::NaiveSampling,
+        Algorithm::Solo,
+        Algorithm::GlobalMajority,
+        Algorithm::OracleClusters,
+        Algorithm::DirectSmallRadius(8),
+    ]
+}
+
+#[test]
+fn backends_bit_identical_at_64() {
+    assert_equivalent(64, &all_algorithms());
+}
+
+#[test]
+fn backends_bit_identical_at_256() {
+    assert_equivalent(256, &all_algorithms());
+}
+
+#[test]
+fn backends_bit_identical_under_adversary() {
+    // Corruption selection, omniscient strategy claims, and InCluster
+    // targeting all read the truth/planted structure — none may see the
+    // backend.
+    let params = ProtocolParams::with_budget(4);
+    let build = |dense: bool| {
+        let b = if dense {
+            Session::builder().procedural_dense(spec(64))
+        } else {
+            Session::builder().procedural(spec(64))
+        };
+        b.params(params.clone())
+            .adversary(
+                Corruption::InCluster {
+                    cluster: 1,
+                    count: 5,
+                },
+                Inverter,
+            )
+            .build()
+    };
+    let a = build(false).run(Algorithm::CalculatePreferences, 3);
+    let b = build(true).run(Algorithm::CalculatePreferences, 3);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.probes.counts(), b.probes.counts());
+    assert_eq!(a.dishonest_count, b.dishonest_count);
+    assert_eq!(a.errors.per_player, b.errors.per_player);
+}
+
+#[test]
+fn planted_metadata_matches_across_backends() {
+    let (procedural, dense) = twin_sessions(64);
+    let p = procedural.planted().unwrap();
+    let d = dense.planted().unwrap();
+    assert_eq!(p.assignment, d.assignment);
+    assert_eq!(p.clusters, d.clusters);
+    assert_eq!(p.centers, d.centers);
+    assert_eq!(p.target_diameter, d.target_diameter);
+}
