@@ -1,13 +1,15 @@
 //! Criterion microbenchmarks for the hot kernels (experiment K, part 1):
-//! Hamming distance, bounded distance, majority folds, vote tallies, and
-//! neighbor-graph construction — the primitives every protocol phase leans
-//! on.
+//! Hamming distance (full / bounded / masked), majority folds, vote
+//! tallies, and neighbor discovery — the primitives every protocol phase
+//! leans on. The `neighbor_index` group measures the graph level: exact
+//! `O(n²)` discovery+peel against the banded (sound LSH prune, lazy peel)
+//! strategy on planted-cluster inputs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use byzscore::cluster::neighbor_graph;
+use byzscore::cluster::{neighbor_graph, NeighborIndex, NeighborStrategy};
 use byzscore_bitset::{majority_fold, BitVec, Bits};
 use byzscore_blocks::VoteTally;
 
@@ -17,12 +19,16 @@ fn bench_hamming(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(1);
         let a = BitVec::random(&mut rng, bits);
         let b = BitVec::random(&mut rng, bits);
+        let mask = BitVec::random(&mut rng, bits);
         group.throughput(Throughput::Bytes((bits / 8) as u64));
         group.bench_with_input(BenchmarkId::new("full", bits), &bits, |bench, _| {
             bench.iter(|| std::hint::black_box(a.hamming(&b)));
         });
         group.bench_with_input(BenchmarkId::new("within-64", bits), &bits, |bench, _| {
             bench.iter(|| std::hint::black_box(a.hamming_within(&b, 64)));
+        });
+        group.bench_with_input(BenchmarkId::new("masked", bits), &bits, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.hamming_masked(&b, &mask)));
         });
     }
     group.finish();
@@ -61,19 +67,27 @@ fn bench_vote_tally(c: &mut Criterion) {
     group.finish();
 }
 
+/// Planted-cluster sample vectors: `camps` tight camps of `per_camp`
+/// players each, pairwise within-camp distance ≤ 2·`spread`.
+fn camps(len: usize, camps: usize, per_camp: usize, spread: usize, seed: u64) -> Vec<BitVec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<BitVec> = (0..camps).map(|_| BitVec::random(&mut rng, len)).collect();
+    let mut out = Vec::with_capacity(camps * per_camp);
+    for center in &centers {
+        for _ in 0..per_camp {
+            let mut v = center.clone();
+            v.flip_random_distinct(&mut rng, spread);
+            out.push(v);
+        }
+    }
+    out
+}
+
 fn bench_neighbor_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("neighbor_graph");
     group.sample_size(10);
     for players in [128usize, 512] {
-        let mut rng = SmallRng::seed_from_u64(4);
-        let center = BitVec::random(&mut rng, 1024);
-        let zs: Vec<BitVec> = (0..players)
-            .map(|_| {
-                let mut v = center.clone();
-                v.flip_random_distinct(&mut rng, 32);
-                v
-            })
-            .collect();
+        let zs = camps(1024, 1, players, 32, 4);
         group.bench_with_input(
             BenchmarkId::from_parameter(players),
             &players,
@@ -85,11 +99,35 @@ fn bench_neighbor_graph(c: &mut Criterion) {
     group.finish();
 }
 
+/// Graph-level: full neighbor discovery + peel, exact vs banded, on
+/// many-small-cluster inputs (where the banded prune pays off most).
+fn bench_neighbor_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_index");
+    group.sample_size(10);
+    for (players, camps_n) in [(1024usize, 16usize), (4096, 64)] {
+        let per = players / camps_n;
+        let zs = camps(512, camps_n, per, 4, 5);
+        for (label, strategy) in [
+            ("exact", NeighborStrategy::Exact),
+            ("banded", NeighborStrategy::Banded),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, players), &players, |bench, _| {
+                bench.iter(|| {
+                    let idx = NeighborIndex::build(&zs, 10, strategy);
+                    std::hint::black_box(idx.peel(per / 2).clusters.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_hamming,
     bench_majority,
     bench_vote_tally,
-    bench_neighbor_graph
+    bench_neighbor_graph,
+    bench_neighbor_index
 );
 criterion_main!(kernels);

@@ -1,6 +1,6 @@
 //! E5–E8, E12: whole-protocol claims (honest analysis, §6 + Claim 2).
 
-use byzscore::cluster::cluster_players;
+use byzscore::cluster::cluster_players_with;
 use byzscore::sampling::choose_sample;
 use byzscore::{Algorithm, ProtocolParams, Session, SweepPoint};
 use byzscore_bitset::{BitVec, Bits};
@@ -56,7 +56,12 @@ pub fn e05_clustering(scale: Scale) -> Vec<Table> {
             let players: Vec<u32> = (0..n as u32).collect();
             let sample = choose_sample(&ctx.beacon, n, m, d, pp.c_sample);
             let z = small_radius(&ctx, &players, &sample, pp.sample_diameter(n), &[t as u64]);
-            let clustering = cluster_players(&z, pp.edge_threshold(n), pp.peel_min_size(n));
+            let clustering = cluster_players_with(
+                &z,
+                pp.edge_threshold(n),
+                pp.peel_min_size(n),
+                pp.neighbor_strategy,
+            );
             let q = cluster_quality(inst.truth(), &clustering.clusters);
             counts.push(q.count as f64);
             min_sizes.push(q.min_size as f64);

@@ -1,5 +1,6 @@
 //! The [`Bits`] read-only view trait and its distance/query kernels.
 
+use crate::kernel::{hamming_masked_words, hamming_within_words, hamming_words};
 use crate::{tail_mask, BitVec, WORD_BITS};
 
 /// Read-only view of a packed bit sequence.
@@ -41,19 +42,16 @@ pub trait Bits {
 
     /// Hamming distance to `other`. Panics if lengths differ.
     ///
-    /// This is the paper's `|v(p) - v(q)|`.
+    /// This is the paper's `|v(p) - v(q)|`, routed through the unrolled
+    /// [`hamming_words`](crate::kernel::hamming_words) kernel.
     #[inline]
     fn hamming<B: Bits + ?Sized>(&self, other: &B) -> usize {
-        let (a, b) = (self.words(), other.words());
         assert_eq!(
             self.len(),
             other.len(),
             "hamming distance requires equal lengths"
         );
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x ^ y).count_ones() as usize)
-            .sum()
+        hamming_words(self.words(), other.words())
     }
 
     /// Hamming distance, but stop early once it is known to exceed `limit`,
@@ -64,19 +62,8 @@ pub trait Bits {
     /// cheap.
     #[inline]
     fn hamming_within<B: Bits + ?Sized>(&self, other: &B, limit: usize) -> Option<usize> {
-        let (a, b) = (self.words(), other.words());
         assert_eq!(self.len(), other.len());
-        let mut acc = 0usize;
-        // Check the running total every 16 words: one branch per kibibit.
-        for (ca, cb) in a.chunks(16).zip(b.chunks(16)) {
-            for (x, y) in ca.iter().zip(cb) {
-                acc += (x ^ y).count_ones() as usize;
-            }
-            if acc > limit {
-                return None;
-            }
-        }
-        (acc <= limit).then_some(acc)
+        hamming_within_words(self.words(), other.words(), limit)
     }
 
     /// Hamming distance restricted to positions where `mask` is set.
@@ -84,12 +71,7 @@ pub trait Bits {
     fn hamming_masked<B: Bits + ?Sized, M: Bits + ?Sized>(&self, other: &B, mask: &M) -> usize {
         assert_eq!(self.len(), other.len());
         assert_eq!(self.len(), mask.len());
-        self.words()
-            .iter()
-            .zip(other.words())
-            .zip(mask.words())
-            .map(|((x, y), m)| ((x ^ y) & m).count_ones() as usize)
-            .sum()
+        hamming_masked_words(self.words(), other.words(), mask.words())
     }
 
     /// Number of positions on which the two views agree.

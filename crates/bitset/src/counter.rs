@@ -1,6 +1,6 @@
 //! Per-column vote accumulation and majority extraction.
 
-use crate::{BitVec, Bits};
+use crate::{words_for, BitVec, Bits};
 
 /// Accumulates weighted per-column votes over bit vectors and extracts the
 /// majority vector.
@@ -95,13 +95,80 @@ impl ColumnCounter {
 /// Majority-fold a non-empty collection of equal-length vectors:
 /// bit `i` of the result is the majority of bit `i` across `vs`
 /// (ties resolve to `tie_value`).
+///
+/// Bit-sliced: per-column one-counts are kept as binary *planes*
+/// (`planes[j]` holds bit `j` of every column's count), so adding a vector
+/// is a word-wide ripple-carry over ≤ `log₂ k` planes and the final
+/// majority is a word-wide comparison of the counts against `⌊k/2⌋` —
+/// `O(k · len/64 · log k)` word ops instead of per-bit balance updates.
 pub fn majority_fold<B: Bits>(vs: &[B], tie_value: bool) -> BitVec {
     assert!(!vs.is_empty(), "majority_fold of empty slice");
-    let mut c = ColumnCounter::new(vs[0].len());
+    let len = vs[0].len();
+    let nw = words_for(len);
+    let mut planes: Vec<Vec<u64>> = Vec::new();
+    let mut carry = vec![0u64; nw];
     for v in vs {
-        c.add(v, 1);
+        assert_eq!(v.len(), len, "vector length mismatch");
+        carry.copy_from_slice(v.words());
+        for plane in planes.iter_mut() {
+            // Half-adder per word: plane ⊕ carry is the new plane bit,
+            // plane ∧ carry ripples up.
+            let mut pending = 0u64;
+            for (pw, cw) in plane.iter_mut().zip(carry.iter_mut()) {
+                let up = *pw & *cw;
+                *pw ^= *cw;
+                *cw = up;
+                pending |= up;
+            }
+            if pending == 0 {
+                break;
+            }
+        }
+        if carry.iter().any(|&w| w != 0) {
+            planes.push(carry.clone());
+            carry.iter_mut().for_each(|w| *w = 0);
+        }
     }
-    c.majority(tie_value)
+
+    // Column majority: count > ⌊k/2⌋ sets the bit; count == k/2 (only
+    // possible for even k) is the tie case. Compare the plane-encoded
+    // counts against the constant threshold MSB-first, treating plane
+    // bits above what any column reached as zero.
+    let k = vs.len();
+    let t = k / 2;
+    let t_bits = (usize::BITS - t.leading_zeros()) as usize;
+    let mut gt = vec![0u64; nw];
+    let mut eq = vec![u64::MAX; nw];
+    for j in (0..planes.len().max(t_bits)).rev() {
+        let t_bit = (t >> j) & 1;
+        match planes.get(j) {
+            Some(plane) => {
+                if t_bit == 1 {
+                    for (e, p) in eq.iter_mut().zip(plane) {
+                        *e &= p;
+                    }
+                } else {
+                    for ((g, e), p) in gt.iter_mut().zip(eq.iter_mut()).zip(plane) {
+                        *g |= *e & p;
+                        *e &= !p;
+                    }
+                }
+            }
+            // Count bit j is 0 everywhere: a 1 in the threshold there
+            // rules out equality; a 0 changes nothing.
+            None => {
+                if t_bit == 1 {
+                    eq.iter_mut().for_each(|e| *e = 0);
+                }
+            }
+        }
+    }
+    let out: Vec<u64> = if k % 2 == 0 && tie_value {
+        gt.iter().zip(&eq).map(|(g, e)| g | e).collect()
+    } else {
+        gt
+    };
+    BitVec::from_words(out, len)
 }
 
 #[cfg(test)]
@@ -200,6 +267,20 @@ mod tests {
             let v = BitVec::random(&mut SmallRng::seed_from_u64(seed), len);
             let vs = vec![v.clone(); copies];
             prop_assert!(majority_fold(&vs, false).bits_eq(&v));
+        }
+
+        #[test]
+        fn prop_large_folds_match_counter(seed in 0u64..50, n_vecs in 1usize..200, len in 1usize..300) {
+            // Exercise many ripple planes (k up to 200 ⇒ 8 planes) and both
+            // tie resolutions against the balance-counter reference.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let vs: Vec<BitVec> = (0..n_vecs).map(|_| BitVec::random(&mut rng, len)).collect();
+            let mut c = ColumnCounter::new(len);
+            for v in &vs {
+                c.add(v, 1);
+            }
+            prop_assert!(majority_fold(&vs, false).bits_eq(&c.majority(false)));
+            prop_assert!(majority_fold(&vs, true).bits_eq(&c.majority(true)));
         }
     }
 }

@@ -22,14 +22,20 @@
 //!   "value probed by a majority of the assigned players" step.
 //!
 //! All kernels are branch-light loops over `u64` words so LLVM can keep them
-//! in registers and auto-vectorize; distance computations on 4096-bit rows
-//! are a few dozen `popcnt`s.
+//! in registers and auto-vectorize; the innermost XOR-popcount loops live in
+//! [`kernel`] as explicit u64×4-unrolled passes (four independent popcount
+//! accumulators), with `std::simd` variants behind the nightly-only
+//! `unstable-simd` feature. Distance computations on 4096-bit rows are a few
+//! dozen `popcnt`s; [`majority_fold`] is bit-sliced (plane-encoded column
+//! counts with word-wide ripple-carry).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "unstable-simd", feature(portable_simd))]
 
 mod bits;
 mod counter;
+pub mod kernel;
 mod matrix;
 mod ops;
 mod vec;

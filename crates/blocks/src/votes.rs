@@ -82,7 +82,7 @@ pub fn popular_vectors(votes: &[BitVec], threshold: usize, fallback_k: usize) ->
 /// The paper's concentration arguments make thresholding alone safe only at
 /// asymptotic node sizes; at laptop scale a clone class can dip below
 /// `|P''|/(2B')` supporters inside a small recursion node, silently dropping
-/// the true vector and corrupting the whole class (DESIGN.md §4.8). Keeping
+/// the true vector and corrupting the whole class (DESIGN.md §4.9). Keeping
 /// the top-`cap` by support fixes that without breaking the cost or
 /// Byzantine analysis: resolution probing eliminates lying candidates
 /// anyway, and `cap` bounds the probes exactly as the threshold bound did.

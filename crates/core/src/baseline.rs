@@ -23,7 +23,7 @@ use byzscore_board::par::par_map_players;
 use byzscore_model::Planted;
 use byzscore_random::{choose_k, tags};
 
-use crate::cluster::{cluster_players, Clustering};
+use crate::cluster::{cluster_players_with, Clustering};
 use crate::share::share_work;
 use crate::ProtocolParams;
 
@@ -57,7 +57,7 @@ pub fn naive_sampling(ctx: &Ctx<'_>, params: &ProtocolParams) -> Vec<BitVec> {
     for (di, &diameter) in params.diameter_guesses(n, m).iter().enumerate() {
         // Expected sample distance of a D-pair is |R|·D/m; edge at 3×.
         let tau = ((3.0 * sample.len() as f64 * diameter as f64 / m as f64).ceil() as usize).max(1);
-        let clustering = cluster_players(&zvecs, tau, min_cluster);
+        let clustering = cluster_players_with(&zvecs, tau, min_cluster, params.neighbor_strategy);
         let w_d = share_work(ctx, &clustering, m, 1, &[0x7a1e, di as u64], false);
         for (p, w) in w_d.into_iter().enumerate() {
             candidates[p].push(w);

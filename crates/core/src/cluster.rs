@@ -1,11 +1,42 @@
-//! Step 1.d: neighbor graph over sample vectors and greedy cluster peeling
-//! (§6.5, Lemmas 8–9).
+//! Step 1.d: neighbor discovery over sample vectors and greedy cluster
+//! peeling (§6.5, Lemmas 8–9).
+//!
+//! The Lemma-8 edge set — `(p, q)` is an edge iff `|z(p) − z(q)| ≤ τ` — is
+//! produced by a [`NeighborIndex`], which offers two discovery strategies
+//! behind one API:
+//!
+//! * [`NeighborStrategy::Exact`] — the literal all-pairs `O(n²)`
+//!   bounded-distance pass, adjacency materialized. Cheap and cache-friendly
+//!   up to a few thousand players.
+//! * [`NeighborStrategy::Banded`] — a *sound* LSH/bit-bucketing prefilter:
+//!   the `|S|` sample coordinates are split into `τ + 1` disjoint bands, and
+//!   by pigeonhole any pair within distance `τ` must agree **exactly** on at
+//!   least one band (if all `τ + 1` bands differed somewhere, the total
+//!   distance would be ≥ `τ + 1`). Only pairs sharing a band bucket are
+//!   candidates; each survivor is verified with an exact
+//!   [`hamming_within`](byzscore_bitset::Bits::hamming_within), so the edge
+//!   set is **identical** to the exact pass — the bands only prune, never
+//!   decide. Crucially the banded index also *peels lazily*: adjacency is
+//!   never materialized, so dense neighborhoods (a planted cluster of
+//!   `n/B = 12 500` players at `n = 10⁵` is a clique of ~7.8·10⁷ edges,
+//!   ~1.6·10⁸ adjacency-list entries) cost no memory.
+//!
+//! Both strategies fall back to an explicit complete-graph shortcut when
+//! `τ ≥ |S|` (every pair is trivially within threshold — the empty-sample
+//! sabotage case), and banded discovery degrades to an unmaterialized
+//! blocked scan when `τ + 1` bands would be too narrow to prune
+//! (`< MIN_BAND_BITS` bits each). The scan fallback still verifies all
+//! `O(n²)` pairs — just through the blocked kernel and without building
+//! adjacency — so for mid-range thresholds the win is memory and constant
+//! factors, not asymptotics (ROADMAP "neighbor discovery beyond bands").
 
-use byzscore_bitset::{BitVec, Bits};
+use std::collections::HashMap;
+
+use byzscore_bitset::{BitMatrix, BitVec, Bits};
 use byzscore_board::par::par_map_players;
 
 /// A clustering of the players.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Clustering {
     /// For each player, the index of its cluster.
     pub assignment: Vec<u32>,
@@ -40,16 +71,478 @@ impl Clustering {
     }
 }
 
-/// Build the neighbor graph: `(p, q)` is an edge iff
-/// `|z(p) − z(q)| ≤ threshold` (Lemma 8). `O(n²)` bounded-distance
-/// comparisons, parallel over rows with early-exit popcounts.
-pub fn neighbor_graph(zvecs: &[BitVec], threshold: usize) -> Vec<Vec<u32>> {
-    let n = zvecs.len();
+/// How [`NeighborIndex::build`] discovers the Lemma-8 edge set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NeighborStrategy {
+    /// Pick per input shape: `Exact` up to [`AUTO_EXACT_MAX`] players
+    /// (materialization is cheap there), `Banded` beyond.
+    #[default]
+    Auto,
+    /// All-pairs `O(n²)` bounded-distance pass with materialized adjacency.
+    Exact,
+    /// Banded prefilter + exact verification; adjacency never materialized.
+    Banded,
+}
+
+/// Largest player count for which [`NeighborStrategy::Auto`] still picks
+/// the materialized exact pass.
+pub const AUTO_EXACT_MAX: usize = 4096;
+
+/// Minimum band width (bits) for the banded prefilter to be worth its
+/// bucket overhead; below this the prune keeps nearly every pair and the
+/// index degrades to an unmaterialized blocked scan.
+const MIN_BAND_BITS: usize = 16;
+
+enum Mode {
+    /// `threshold ≥ |S|`: every pair is an edge; nothing is stored.
+    Complete,
+    /// Exact strategy: full adjacency lists (sorted ascending).
+    Materialized(Vec<Vec<u32>>),
+    /// Banded prefilter: per-band hash buckets prune candidate pairs.
+    Banded(Bands),
+    /// Banded strategy whose bands would be too narrow: verify every pair
+    /// on demand with the blocked kernel, never materialize.
+    Scan,
+}
+
+struct Bands {
+    /// Number of bands (`threshold + 1`).
+    k: usize,
+    /// `keys[p * k + j]` = FNV hash of player `p`'s bits in band `j`.
+    keys: Vec<u64>,
+    /// Per-band: band key → players carrying it (ascending, by build order).
+    buckets: Vec<HashMap<u64, Vec<u32>>>,
+}
+
+impl Bands {
+    fn build(rows: &BitMatrix, k: usize) -> Bands {
+        let n = rows.rows();
+        let len = rows.cols();
+        let mut keys = Vec::with_capacity(n * k);
+        let mut buckets: Vec<HashMap<u64, Vec<u32>>> = (0..k).map(|_| HashMap::new()).collect();
+        for p in 0..n {
+            let words = rows.row(p);
+            for (j, bucket) in buckets.iter_mut().enumerate() {
+                let (start, end) = band_range(len, k, j);
+                let key = band_key(words.words(), start, end);
+                keys.push(key);
+                bucket.entry(key).or_default().push(p as u32);
+            }
+        }
+        Bands { k, keys, buckets }
+    }
+
+    #[inline]
+    fn key(&self, p: usize, j: usize) -> u64 {
+        self.keys[p * self.k + j]
+    }
+
+    /// True iff `p` and `q` share a band key strictly before band `j` —
+    /// the dedup rule: a candidate pair is processed only at its *first*
+    /// shared band.
+    #[inline]
+    fn shares_band_before(&self, p: usize, q: usize, j: usize) -> bool {
+        (0..j).any(|i| self.key(p, i) == self.key(q, i))
+    }
+
+    /// Visit every distinct candidate `q ≠ p` sharing at least one band
+    /// bucket with `p`, exactly once. `buckets` is passed explicitly so
+    /// peeling can substitute a compacted (alive-only) working copy.
+    fn for_candidates(
+        &self,
+        buckets: &[HashMap<u64, Vec<u32>>],
+        p: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        for (j, bucket_map) in buckets.iter().enumerate() {
+            let Some(bucket) = bucket_map.get(&self.key(p, j)) else {
+                continue;
+            };
+            for &q32 in bucket {
+                let q = q32 as usize;
+                if q != p && !self.shares_band_before(p, q, j) {
+                    f(q);
+                }
+            }
+        }
+    }
+}
+
+/// Band `j` of a `k`-band split covers bits `[j·len/k, (j+1)·len/k)`.
+#[inline]
+fn band_range(len: usize, k: usize, j: usize) -> (usize, usize) {
+    (j * len / k, (j + 1) * len / k)
+}
+
+/// `count ≤ 64` bits of `words` starting at bit `start`, as a `u64`.
+#[inline]
+fn extract_bits(words: &[u64], start: usize, count: usize) -> u64 {
+    debug_assert!((1..=64).contains(&count));
+    let w = start / 64;
+    let off = start % 64;
+    let mut v = words[w] >> off;
+    if off + count > 64 {
+        v |= words[w + 1] << (64 - off);
+    }
+    if count < 64 {
+        v &= (1u64 << count) - 1;
+    }
+    v
+}
+
+/// FNV-1a hash of the band's bits, in 64-bit chunks. Equal band contents
+/// always hash equal, so bucketing by hash key keeps the prune sound;
+/// hash collisions only add candidates, which verification discards.
+fn band_key(words: &[u64], start: usize, end: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut pos = start;
+    while pos < end {
+        let take = (end - pos).min(64);
+        h ^= extract_bits(words, pos, take);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        pos += take;
+    }
+    h
+}
+
+/// Neighbor discovery over sample vectors: the Lemma-8 edge set
+/// `(p, q) ⇔ |z(p) − z(q)| ≤ threshold`, queryable without materializing
+/// adjacency (see module docs for the strategies).
+pub struct NeighborIndex {
+    rows: BitMatrix,
+    threshold: usize,
+    mode: Mode,
+}
+
+impl NeighborIndex {
+    /// Build an index over `zvecs` (equal-length sample vectors) for the
+    /// given edge `threshold`.
+    pub fn build(zvecs: &[BitVec], threshold: usize, strategy: NeighborStrategy) -> NeighborIndex {
+        let rows = BitMatrix::from_rows(zvecs);
+        let len = rows.cols();
+        let n = rows.rows();
+        let mode = if threshold >= len {
+            Mode::Complete
+        } else {
+            let exact = match strategy {
+                NeighborStrategy::Exact => true,
+                NeighborStrategy::Banded => false,
+                NeighborStrategy::Auto => n <= AUTO_EXACT_MAX,
+            };
+            if exact {
+                Mode::Materialized(materialize(&rows, threshold))
+            } else {
+                let k = threshold + 1;
+                if len / k >= MIN_BAND_BITS {
+                    Mode::Banded(Bands::build(&rows, k))
+                } else {
+                    Mode::Scan
+                }
+            }
+        };
+        NeighborIndex {
+            rows,
+            threshold,
+            mode,
+        }
+    }
+
+    /// Number of players indexed.
+    pub fn n(&self) -> usize {
+        self.rows.rows()
+    }
+
+    /// The edge threshold `τ`.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Which internal path discovery takes (`"complete"`, `"exact"`,
+    /// `"banded"`, or `"scan"`) — for logs and bench labels.
+    pub fn mode_name(&self) -> &'static str {
+        match &self.mode {
+            Mode::Complete => "complete",
+            Mode::Materialized(_) => "exact",
+            Mode::Banded(_) => "banded",
+            Mode::Scan => "scan",
+        }
+    }
+
+    #[inline]
+    fn verify(&self, p: usize, q: usize) -> bool {
+        self.rows
+            .row(p)
+            .hamming_within(&self.rows.row(q), self.threshold)
+            .is_some()
+    }
+
+    /// All neighbors of `p`, ascending — identical across strategies.
+    pub fn neighbors_of(&self, p: usize) -> Vec<u32> {
+        let n = self.n();
+        match &self.mode {
+            Mode::Complete => (0..n as u32).filter(|&q| q != p as u32).collect(),
+            Mode::Materialized(adj) => adj[p].clone(),
+            Mode::Banded(bands) => {
+                let mut out = Vec::new();
+                bands.for_candidates(&bands.buckets, p, |q| {
+                    if self.verify(p, q) {
+                        out.push(q as u32);
+                    }
+                });
+                out.sort_unstable();
+                out
+            }
+            Mode::Scan => (0..n)
+                .filter(|&q| q != p && self.verify(p, q))
+                .map(|q| q as u32)
+                .collect(),
+        }
+    }
+
+    /// Degree of every player (neighbor counts), in parallel.
+    pub fn degrees(&self) -> Vec<usize> {
+        let n = self.n();
+        match &self.mode {
+            Mode::Complete => vec![n.saturating_sub(1); n],
+            Mode::Materialized(adj) => adj.iter().map(Vec::len).collect(),
+            Mode::Banded(bands) => par_map_players(n, |p| {
+                let mut deg = 0usize;
+                bands.for_candidates(&bands.buckets, p, |q| {
+                    if self.verify(p, q) {
+                        deg += 1;
+                    }
+                });
+                deg
+            }),
+            Mode::Scan => par_map_players(n, |p| {
+                (0..n).filter(|&q| q != p && self.verify(p, q)).count()
+            }),
+        }
+    }
+
+    /// Materialize the full adjacency (sorted rows). Intended for tests and
+    /// small inputs; defeats the purpose of the banded index at scale.
+    pub fn adjacency(&self) -> Vec<Vec<u32>> {
+        match &self.mode {
+            Mode::Materialized(adj) => adj.clone(),
+            _ => par_map_players(self.n(), |p| self.neighbors_of(p)),
+        }
+    }
+
+    /// Like [`NeighborIndex::adjacency`], but consumes the index so the
+    /// `Exact` strategy hands over its materialized lists without a copy.
+    pub fn into_adjacency(self) -> Vec<Vec<u32>> {
+        match self.mode {
+            Mode::Materialized(adj) => adj,
+            _ => self.adjacency(),
+        }
+    }
+
+    /// Greedy peeling of §6.5 driven by index queries instead of
+    /// materialized adjacency — output is identical to
+    /// [`peel_clusters`] on the exact edge set (pinned by tests):
+    ///
+    /// 1. While some remaining player has ≥ `min_size − 1` remaining
+    ///    neighbors, peel it and its neighbors off as a new cluster.
+    /// 2. Attach every leftover player to a cluster containing one of its
+    ///    original neighbors; degenerate leftovers join the cluster whose
+    ///    first member's `z` is closest (total-function fallback — wrong
+    ///    diameter guesses produce such inputs routinely and `RSelect`
+    ///    discards their candidates later).
+    ///
+    /// For the banded index, per-peel work is confined to the peeled
+    /// members' *live* bucket mates: the working bucket copy is compacted
+    /// as players die, so tight clusters cost `O(cluster)` rather than
+    /// `O(cluster²)` bookkeeping after the first peel.
+    pub fn peel(&self, min_size: usize) -> Clustering {
+        let n = self.n();
+        assert!(n > 0, "cannot cluster zero players");
+        let need = min_size.saturating_sub(1);
+
+        let mut alive = vec![true; n];
+        let mut degree = self.degrees();
+        let mut assignment: Vec<Option<u32>> = vec![None; n];
+        let mut clusters: Vec<Vec<u32>> = Vec::new();
+
+        // Working copy of the band buckets, compacted as players die.
+        let mut live_buckets: Option<Vec<HashMap<u64, Vec<u32>>>> = match &self.mode {
+            Mode::Banded(bands) => Some(bands.buckets.clone()),
+            _ => None,
+        };
+        // Dead entries still sitting in `live_buckets`; compaction is a
+        // pure performance device (decrementing a dead player's degree is
+        // harmless — it is never read again), so it can be batched.
+        let mut stale = 0usize;
+
+        // Phase 1: peel seeds with enough remaining neighbors. Highest
+        // current degree first — any qualifying seed satisfies Lemma 9;
+        // max-degree makes the run deterministic and compact.
+        loop {
+            let seed = (0..n)
+                .filter(|&p| alive[p] && degree[p] >= need)
+                .max_by_key(|&p| (degree[p], std::cmp::Reverse(p)));
+            let Some(seed) = seed else { break };
+            let mut members: Vec<u32> = vec![seed as u32];
+            match (&self.mode, live_buckets.as_ref()) {
+                (Mode::Complete, _) => {
+                    members.extend((0..n as u32).filter(|&q| q != seed as u32 && alive[q as usize]))
+                }
+                (Mode::Materialized(adj), _) => {
+                    members.extend(adj[seed].iter().copied().filter(|&q| alive[q as usize]))
+                }
+                (Mode::Banded(bands), Some(buckets)) => {
+                    bands.for_candidates(buckets, seed, |q| {
+                        if alive[q] && self.verify(seed, q) {
+                            members.push(q as u32);
+                        }
+                    });
+                }
+                _ => members.extend(
+                    (0..n as u32)
+                        .filter(|&q| q != seed as u32 && alive[q as usize])
+                        .filter(|&q| self.verify(seed, q as usize)),
+                ),
+            }
+            members.sort_unstable();
+            let id = clusters.len() as u32;
+            for &m in &members {
+                alive[m as usize] = false;
+                assignment[m as usize] = Some(id);
+            }
+            // Update residual degrees of everyone adjacent to the peeled
+            // set: every (peeled member, alive neighbor) pair subtracts 1.
+            match (&self.mode, live_buckets.as_mut()) {
+                // Everyone alive was peeled; nobody is left to update.
+                (Mode::Complete, _) => {}
+                (Mode::Materialized(adj), _) => {
+                    for &m in &members {
+                        for &q in &adj[m as usize] {
+                            if alive[q as usize] {
+                                degree[q as usize] = degree[q as usize].saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+                (Mode::Banded(bands), Some(buckets)) => {
+                    // Drop the dead from the working buckets (batched: a
+                    // full sweep costs n·k, so small peels accumulate
+                    // first) so peeled members mostly walk *alive* bucket
+                    // mates. Stale dead entries that slip through only
+                    // decrement a dead player's degree — never read again.
+                    stale += members.len();
+                    if stale >= 1024 || stale * 4 >= n {
+                        for bucket_map in buckets.iter_mut() {
+                            for bucket in bucket_map.values_mut() {
+                                bucket.retain(|&q| alive[q as usize]);
+                            }
+                        }
+                        stale = 0;
+                    }
+                    for &m in &members {
+                        bands.for_candidates(buckets, m as usize, |q| {
+                            if alive[q] && self.verify(m as usize, q) {
+                                degree[q] = degree[q].saturating_sub(1);
+                            }
+                        });
+                    }
+                }
+                _ => {
+                    // Blocked scan: per alive player, count peeled
+                    // neighbors in one pass (exact integer sums, so the
+                    // result is thread-count independent).
+                    let dropped = par_map_players(n, |q| {
+                        if !alive[q] {
+                            return 0usize;
+                        }
+                        members
+                            .iter()
+                            .filter(|&&m| self.verify(q, m as usize))
+                            .count()
+                    });
+                    for (q, d) in dropped.into_iter().enumerate() {
+                        degree[q] = degree[q].saturating_sub(d);
+                    }
+                }
+            }
+            clusters.push(members);
+        }
+
+        // Phase 2: leftovers attach to a cluster containing an original
+        // neighbor (lowest cluster id), else to the z-nearest cluster seed.
+        for p in 0..n {
+            if assignment[p].is_some() {
+                continue;
+            }
+            let via_neighbor = self.assigned_neighbor_min(p, &assignment);
+            let id = via_neighbor.unwrap_or_else(|| {
+                if clusters.is_empty() {
+                    clusters.push(Vec::new());
+                }
+                // Nearest cluster by z-distance to the cluster's first
+                // member.
+                (0..clusters.len() as u32)
+                    .min_by_key(|&c| {
+                        clusters[c as usize].first().map_or(usize::MAX, |&m| {
+                            self.rows.row(p).hamming(&self.rows.row(m as usize))
+                        })
+                    })
+                    .expect("at least one cluster exists")
+            });
+            assignment[p] = Some(id);
+            let members = &mut clusters[id as usize];
+            let pos = members.partition_point(|&m| m < p as u32);
+            members.insert(pos, p as u32);
+        }
+
+        Clustering {
+            assignment: assignment
+                .into_iter()
+                .map(|a| a.expect("assigned"))
+                .collect(),
+            clusters,
+        }
+    }
+
+    /// Lowest cluster id among `p`'s original neighbors that are already
+    /// assigned (phase-2 attachment rule). Uses pristine (uncompacted)
+    /// adjacency: peeled neighbors count.
+    fn assigned_neighbor_min(&self, p: usize, assignment: &[Option<u32>]) -> Option<u32> {
+        match &self.mode {
+            Mode::Complete => assignment
+                .iter()
+                .enumerate()
+                .filter(|&(q, _)| q != p)
+                .filter_map(|(_, a)| *a)
+                .min(),
+            Mode::Materialized(adj) => adj[p].iter().filter_map(|&q| assignment[q as usize]).min(),
+            Mode::Banded(bands) => {
+                let mut best: Option<u32> = None;
+                bands.for_candidates(&bands.buckets, p, |q| {
+                    if let Some(a) = assignment[q] {
+                        if self.verify(p, q) {
+                            best = Some(best.map_or(a, |b| b.min(a)));
+                        }
+                    }
+                });
+                best
+            }
+            Mode::Scan => (0..self.n())
+                .filter(|&q| q != p)
+                .filter_map(|q| assignment[q].filter(|_| self.verify(p, q)))
+                .min(),
+        }
+    }
+}
+
+/// Exact all-pairs pass: adjacency rows in ascending order, parallel over
+/// players with early-exit popcounts on packed matrix rows.
+fn materialize(rows: &BitMatrix, threshold: usize) -> Vec<Vec<u32>> {
+    let n = rows.rows();
     par_map_players(n, |p| {
+        let zp = rows.row(p);
         let mut adj = Vec::new();
-        let zp = &zvecs[p];
-        for (q, zq) in zvecs.iter().enumerate() {
-            if q != p && zp.hamming_within(zq, threshold).is_some() {
+        for q in 0..n {
+            if q != p && zp.hamming_within(&rows.row(q), threshold).is_some() {
                 adj.push(q as u32);
             }
         }
@@ -57,7 +550,18 @@ pub fn neighbor_graph(zvecs: &[BitVec], threshold: usize) -> Vec<Vec<u32>> {
     })
 }
 
-/// Greedy peeling of §6.5:
+/// Build the neighbor graph: `(p, q)` is an edge iff
+/// `|z(p) − z(q)| ≤ threshold` (Lemma 8) — the materialized exact edge set.
+pub fn neighbor_graph(zvecs: &[BitVec], threshold: usize) -> Vec<Vec<u32>> {
+    if zvecs.is_empty() {
+        return Vec::new();
+    }
+    NeighborIndex::build(zvecs, threshold, NeighborStrategy::Exact).into_adjacency()
+}
+
+/// Greedy peeling of §6.5 over a pre-materialized adjacency (the original
+/// reference implementation; [`NeighborIndex::peel`] reproduces it exactly
+/// without materializing, which the equivalence tests pin):
 ///
 /// 1. While some remaining player has ≥ `min_size − 1` remaining neighbors,
 ///    peel it and its neighbors off as a new cluster.
@@ -149,10 +653,21 @@ pub fn peel_clusters(zvecs: &[BitVec], adjacency: &[Vec<u32>], min_size: usize) 
     }
 }
 
-/// Convenience: graph + peel in one call.
+/// Convenience: neighbor discovery + peel in one call, with an explicit
+/// strategy (the protocol passes `ProtocolParams::neighbor_strategy`).
+pub fn cluster_players_with(
+    zvecs: &[BitVec],
+    threshold: usize,
+    min_size: usize,
+    strategy: NeighborStrategy,
+) -> Clustering {
+    NeighborIndex::build(zvecs, threshold, strategy).peel(min_size)
+}
+
+/// Convenience: graph + peel in one call under the default
+/// ([`NeighborStrategy::Auto`]) strategy.
 pub fn cluster_players(zvecs: &[BitVec], threshold: usize, min_size: usize) -> Clustering {
-    let adj = neighbor_graph(zvecs, threshold);
-    peel_clusters(zvecs, &adj, min_size)
+    cluster_players_with(zvecs, threshold, min_size, NeighborStrategy::Auto)
 }
 
 #[cfg(test)]
@@ -246,9 +761,6 @@ mod tests {
         for (p, &a) in c.assignment.iter().enumerate() {
             assert!(c.clusters[a as usize].contains(&(p as u32)));
         }
-        for (&p, members) in c.assignment.iter().zip(std::iter::repeat(&())) {
-            let _ = (p, members);
-        }
     }
 
     #[test]
@@ -258,5 +770,72 @@ mod tests {
         assert!(c.is_partition());
         assert_eq!(c.clusters.len(), 1);
         assert_eq!(c.cluster_of(0), &[0]);
+    }
+
+    /// The three lazy modes (complete / banded / scan) against the
+    /// materialized exact path, on structured and random inputs.
+    #[test]
+    fn banded_modes_match_exact() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let cases: Vec<(Vec<BitVec>, usize)> = vec![
+            (two_camps(256, 10, 7), 4), // banded (wide bands)
+            (two_camps(64, 6, 8), 12),  // scan (bands too narrow)
+            (two_camps(32, 5, 9), 40),  // complete (τ ≥ len)
+            ((0..14).map(|_| BitVec::random(&mut rng, 96)).collect(), 3),
+        ];
+        for (zs, threshold) in cases {
+            let exact = NeighborIndex::build(&zs, threshold, NeighborStrategy::Exact);
+            let banded = NeighborIndex::build(&zs, threshold, NeighborStrategy::Banded);
+            assert_eq!(
+                exact.adjacency(),
+                banded.adjacency(),
+                "edge sets diverge at τ={threshold} (mode {})",
+                banded.mode_name()
+            );
+            assert_eq!(exact.degrees(), banded.degrees());
+            for min_size in [1usize, 3, 8] {
+                let reference = peel_clusters(&zs, &exact.adjacency(), min_size);
+                assert_eq!(exact.peel(min_size), reference);
+                assert_eq!(banded.peel(min_size), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sample_is_complete_graph() {
+        // Sabotaged leaders publish empty samples: every z-vector is empty,
+        // all pairs are within any threshold, one big cluster results.
+        let zs = vec![BitVec::zeros(0); 9];
+        for strategy in [NeighborStrategy::Exact, NeighborStrategy::Banded] {
+            let idx = NeighborIndex::build(&zs, 0, strategy);
+            assert_eq!(idx.mode_name(), "complete");
+            let c = idx.peel(3);
+            assert!(c.is_partition());
+            assert_eq!(c.clusters.len(), 1);
+            assert_eq!(c.clusters[0].len(), 9);
+        }
+    }
+
+    #[test]
+    fn banded_prune_is_sound_near_threshold() {
+        // Pairs at distance exactly τ and τ+1: the band pigeonhole must
+        // keep the former and may only drop the latter.
+        let len = 160;
+        let tau = 6;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let base = BitVec::random(&mut rng, len);
+        let mut at_tau = base.clone();
+        for i in 0..tau {
+            at_tau.flip(i * 17);
+        }
+        let mut past_tau = base.clone();
+        for i in 0..tau + 1 {
+            past_tau.flip(i * 17);
+        }
+        let zs = vec![base, at_tau, past_tau];
+        let idx = NeighborIndex::build(&zs, tau, NeighborStrategy::Banded);
+        assert_eq!(idx.mode_name(), "banded");
+        assert_eq!(idx.neighbors_of(0), vec![1]);
+        assert_eq!(idx.neighbors_of(2), vec![1]); // dist(1,2)=1
     }
 }

@@ -77,6 +77,7 @@ pub mod sampling;
 pub mod share;
 
 pub use byzscore_board::{ClusterSpec, DenseTruth, ProceduralTruth, TruthSource};
+pub use cluster::{NeighborIndex, NeighborStrategy};
 pub use params::ProtocolParams;
 pub use protocol::calculate_preferences;
 pub use robust::robust_calculate_preferences;

@@ -2,6 +2,8 @@
 
 use byzscore_blocks::BlockParams;
 
+use crate::cluster::NeighborStrategy;
+
 /// All protocol-level constants of Figure 2 and §7, explicit.
 ///
 /// `blocks` carries the Figure-1 constants; the fields here govern the
@@ -53,6 +55,11 @@ pub struct ProtocolParams {
     /// fixed. Either way the §7.1 defense (repetition + RSelect) is what
     /// must absorb it.
     pub leader_sabotage: bool,
+    /// How step 1.d discovers the Lemma-8 neighbor graph: the exact
+    /// `O(n²)` pass, the sound banded prefilter, or a per-size automatic
+    /// choice. All strategies produce the identical edge set; this only
+    /// trades discovery time and memory.
+    pub neighbor_strategy: NeighborStrategy,
 }
 
 impl ProtocolParams {
@@ -68,6 +75,7 @@ impl ProtocolParams {
             naive_sample_mult: 2.0,
             degree_frac: 2.0 / 3.0,
             leader_sabotage: true,
+            neighbor_strategy: NeighborStrategy::Auto,
         }
     }
 
@@ -83,6 +91,7 @@ impl ProtocolParams {
             naive_sample_mult: 2.0,
             degree_frac: 2.0 / 3.0,
             leader_sabotage: true,
+            neighbor_strategy: NeighborStrategy::Auto,
         }
     }
 

@@ -6,7 +6,7 @@ use byzscore_blocks::{rselect, small_radius, Ctx};
 use byzscore_board::par::par_map_players;
 use byzscore_random::Provenance;
 
-use crate::cluster::cluster_players;
+use crate::cluster::cluster_players_with;
 use crate::sampling::choose_sample;
 use crate::share::share_work;
 use crate::ProtocolParams;
@@ -68,8 +68,10 @@ pub fn calculate_preferences(
         // ⇒ one big cluster: the degenerate candidate RSelect later weighs.
         let z = small_radius(ctx, &players, &sample, sr_diameter, &path);
 
-        // 1.d: neighbor graph + greedy peeling.
-        let clustering = cluster_players(&z, edge_threshold, min_cluster);
+        // 1.d: neighbor discovery + greedy peeling, under the params'
+        // strategy (all strategies yield the identical Lemma-8 edge set).
+        let clustering =
+            cluster_players_with(&z, edge_threshold, min_cluster, params.neighbor_strategy);
 
         // 1.e: redundant probing with majority votes.
         let w_d = share_work(ctx, &clustering, m, reps, &path, sabotaged);

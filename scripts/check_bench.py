@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Compare a byzscore-bench JSON artifact against the committed baseline.
 
-Usage: check_bench.py BASELINE.json CURRENT.json
+Usage:
+  check_bench.py BASELINE.json CURRENT.json [--tol COLUMN=REL ...]
+  check_bench.py --self-test
 
 Every experiment run is a pure function of its seeds (the determinism test
 suite enforces bit-identity across thread counts), so probe counts and
@@ -11,15 +13,29 @@ skipped, as are table notes (they embed derived slopes already covered by
 the numeric cells). Any other cell drift fails the check loudly — that is
 the point: accuracy or probe-complexity regressions must not land
 silently (ROADMAP "perf baseline tracking").
+
+Per-column tolerances: numeric columns default to REL_TOL (float-formatting
+slack only). A column can be given a wider relative tolerance either in
+COLUMN_TOLERANCES below (matched as a case-insensitive substring of the
+header) or on the command line with --tol 'mean err=0.05'. On failure the
+mismatching tables are also rendered as a unified diff so the drift is
+readable at a glance.
 """
 
+import difflib
 import json
 import sys
 
-# Numeric cells are compared with a tiny relative tolerance: values are
-# deterministic, but libm `ln` may differ in the last ulp across hosts and
-# the cells carry only 2-3 formatted decimals anyway.
+# Numeric cells are compared with a tiny relative tolerance by default:
+# values are deterministic, but libm `ln` may differ in the last ulp across
+# hosts and the cells carry only 2-3 formatted decimals anyway.
 REL_TOL = 1e-6
+
+# Built-in per-column relative tolerances, matched as case-insensitive
+# substrings of the column header (first match wins, checked in order).
+# Deterministic columns deliberately get none — add entries here (or pass
+# --tol) only for columns that are genuinely host-dependent.
+COLUMN_TOLERANCES: list[tuple[str, float]] = []
 
 TIMING_MARKERS = ("elapsed", " ms", "seconds")
 
@@ -29,14 +45,25 @@ def is_timing(header: str) -> bool:
     return h == "ms" or any(marker in h for marker in TIMING_MARKERS)
 
 
-def cells_match(a: str, b: str) -> bool:
+def tolerance_for(header: str, overrides) -> float:
+    h = header.lower()
+    for pattern, tol in overrides:
+        if pattern in h:
+            return tol
+    for pattern, tol in COLUMN_TOLERANCES:
+        if pattern in h:
+            return tol
+    return REL_TOL
+
+
+def cells_match(a: str, b: str, rel_tol: float) -> bool:
     if a == b:
         return True
     try:
         fa, fb = float(a), float(b)
     except ValueError:
         return False
-    return abs(fa - fb) <= REL_TOL * max(1.0, abs(fa), abs(fb))
+    return abs(fa - fb) <= rel_tol * max(1.0, abs(fa), abs(fb))
 
 
 def index_tables(doc):
@@ -47,17 +74,34 @@ def index_tables(doc):
     return out
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
-        baseline = json.load(f)
-    with open(sys.argv[2]) as f:
-        current = json.load(f)
+def render_rows(table):
+    """Rows as aligned text lines (for the unified diff)."""
+    lines = [" | ".join(table["headers"])]
+    for row in table["rows"]:
+        lines.append(" | ".join(row))
+    return lines
 
+
+def table_diff(base, cur, exp_id, title):
+    """Readable unified diff of one drifted table."""
+    return list(
+        difflib.unified_diff(
+            render_rows(base),
+            render_rows(cur),
+            fromfile=f"baseline [{exp_id}] {title}",
+            tofile=f"current  [{exp_id}] {title}",
+            lineterm="",
+        )
+    )
+
+
+def compare_docs(baseline, current, overrides=()):
+    """Compare two artifacts; returns (failures, diff_lines, notes)."""
     base_tables = index_tables(baseline)
     cur_tables = index_tables(current)
     failures = []
+    diff_lines = []
+    notes = []
 
     for key, base in sorted(base_tables.items()):
         exp_id, title = key
@@ -67,25 +111,65 @@ def main():
             continue
         if cur["headers"] != base["headers"]:
             failures.append(f"[{exp_id}] headers changed in {title!r}")
+            diff_lines += table_diff(base, cur, exp_id, title)
             continue
         if len(cur["rows"]) != len(base["rows"]):
             failures.append(
                 f"[{exp_id}] row count {len(cur['rows'])} != baseline "
                 f"{len(base['rows'])} in {title!r}"
             )
+            diff_lines += table_diff(base, cur, exp_id, title)
             continue
+        table_failed = False
         for r, (brow, crow) in enumerate(zip(base["rows"], cur["rows"])):
             for header, bcell, ccell in zip(base["headers"], brow, crow):
                 if is_timing(header):
                     continue
-                if not cells_match(bcell, ccell):
+                tol = tolerance_for(header, overrides)
+                if not cells_match(bcell, ccell, tol):
+                    table_failed = True
                     failures.append(
                         f"[{exp_id}] {title!r} row {r} col {header!r}: "
                         f"baseline {bcell!r} != current {ccell!r}"
+                        + (f" (rel tol {tol:g})" if tol > REL_TOL else "")
                     )
+        if table_failed:
+            diff_lines += table_diff(base, cur, exp_id, title)
 
     for key in sorted(set(cur_tables) - set(base_tables)):
-        print(f"note: new table not in baseline (regenerate it): {key}")
+        notes.append(f"note: new table not in baseline (regenerate it): {key}")
+
+    return failures, diff_lines, notes
+
+
+def parse_args(argv):
+    paths = []
+    overrides = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--tol":
+            spec = next(it, None)
+            if spec is None or "=" not in spec:
+                sys.exit("--tol expects COLUMN=REL_TOL (e.g. --tol 'mean err=0.05')")
+            col, _, tol = spec.partition("=")
+            overrides.append((col.strip().lower(), float(tol)))
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+    return paths, overrides
+
+
+def main():
+    (base_path, cur_path), overrides = parse_args(sys.argv[1:])
+    with open(base_path) as f:
+        baseline = json.load(f)
+    with open(cur_path) as f:
+        current = json.load(f)
+
+    failures, diff_lines, notes = compare_docs(baseline, current, overrides)
+    for note in notes:
+        print(note)
 
     if failures:
         print(f"BENCH REGRESSION: {len(failures)} mismatch(es)")
@@ -93,17 +177,90 @@ def main():
             print("  " + f_)
         if len(failures) > 50:
             print(f"  ... and {len(failures) - 50} more")
+        if diff_lines:
+            print("\n--- drifted tables (unified diff, timing columns included) ---")
+            for line in diff_lines[:200]:
+                print(line)
+            if len(diff_lines) > 200:
+                print(f"... and {len(diff_lines) - 200} more diff lines")
         print(
-            "If the change is intentional, regenerate the baseline:\n"
+            "\nIf the change is intentional, regenerate the baseline:\n"
             "  cargo run --release -p byzscore-bench --bin run_all -- "
             "--scale quick --threads 2 --json BENCH_baseline.json"
         )
         sys.exit(1)
+
+    n_tables = len(index_tables(baseline))
     print(
-        f"bench check OK: {len(base_tables)} table(s) match the baseline "
+        f"bench check OK: {n_tables} table(s) match the baseline "
         "(timing columns skipped)"
     )
 
 
+def self_test():
+    """In-process checks of the comparison logic (run from CI)."""
+
+    def doc(rows, headers=("n", "max err", "elapsed ms"), title="T"):
+        return {
+            "experiments": [
+                {"id": "eXX", "tables": [{"title": title, "headers": list(headers), "rows": rows}]}
+            ]
+        }
+
+    base = doc([["64", "3.00", "10"], ["128", "5.00", "20"]])
+
+    # Identical artifacts pass.
+    fails, _, _ = compare_docs(base, base)
+    assert not fails, fails
+
+    # Timing drift is ignored.
+    fails, _, _ = compare_docs(base, doc([["64", "3.00", "999"], ["128", "5.00", "1"]]))
+    assert not fails, fails
+
+    # Float formatting slack within REL_TOL passes.
+    fails, _, _ = compare_docs(base, doc([["64", "3.0000000001", "10"], ["128", "5.00", "20"]]))
+    assert not fails, fails
+
+    # Real numeric drift fails, with a readable diff.
+    drifted = doc([["64", "4.00", "10"], ["128", "5.00", "20"]])
+    fails, diff, _ = compare_docs(base, drifted)
+    assert len(fails) == 1 and "max err" in fails[0], fails
+    assert any(line.startswith("-64 | 3.00") for line in diff), diff
+    assert any(line.startswith("+64 | 4.00") for line in diff), diff
+
+    # A per-column tolerance override absorbs the same drift.
+    fails, _, _ = compare_docs(base, drifted, overrides=[("max err", 0.5)])
+    assert not fails, fails
+    # ...but not drift beyond it.
+    fails, _, _ = compare_docs(
+        base, doc([["64", "9.00", "10"], ["128", "5.00", "20"]]), overrides=[("max err", 0.5)]
+    )
+    assert len(fails) == 1, fails
+
+    # Missing tables and row-count changes fail.
+    fails, _, _ = compare_docs(base, {"experiments": []})
+    assert len(fails) == 1 and "missing" in fails[0], fails
+    fails, _, _ = compare_docs(base, doc([["64", "3.00", "10"]]))
+    assert len(fails) == 1 and "row count" in fails[0], fails
+
+    # Non-numeric cells must match exactly.
+    base_s = doc([["64", "ok", "10"]])
+    fails, _, _ = compare_docs(base_s, doc([["64", "bad", "10"]]))
+    assert len(fails) == 1, fails
+
+    # New tables are reported as notes, not failures.
+    extra = doc([["64", "3.00", "10"], ["128", "5.00", "20"]])
+    extra["experiments"].append(
+        {"id": "eYY", "tables": [{"title": "new", "headers": ["a"], "rows": [["1"]]}]}
+    )
+    fails, _, notes = compare_docs(base, extra)
+    assert not fails and len(notes) == 1, (fails, notes)
+
+    print("check_bench self-test OK (9 scenarios)")
+
+
 if __name__ == "__main__":
-    main()
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+    else:
+        main()

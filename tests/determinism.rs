@@ -245,6 +245,50 @@ fn run_sweep_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn banded_clustering_is_bit_identical_across_thread_counts() {
+    // Banded neighbor discovery parallelizes its degree pass and (in scan
+    // mode) its per-peel degree updates; the resulting `Clustering` must be
+    // bit-identical under 1, 2, and 8 worker threads, and identical to the
+    // materialized exact path — worker count can only change speed.
+    use byzscore::cluster::{NeighborIndex, NeighborStrategy};
+    use byzscore_bitset::Bits;
+    use byzscore_board::par::set_thread_limit;
+
+    let _gate = THREAD_LIMIT_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    // Big enough (≥ 32 players) that par_map_players actually fans out.
+    let inst = Workload::PlantedClusters {
+        players: 640,
+        objects: 512,
+        clusters: 8,
+        diameter: 6,
+        balance: Balance::Even,
+    }
+    .generate(21);
+    let zvecs: Vec<_> = (0..640).map(|p| inst.truth().row(p).to_bitvec()).collect();
+
+    for threshold in [14usize, 40] {
+        let exact = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Exact);
+        let banded = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Banded);
+        let reference = exact.peel(40);
+        for threads in [1usize, 2, 8] {
+            set_thread_limit(Some(threads));
+            let got = banded.peel(40);
+            assert_eq!(
+                got.assignment, reference.assignment,
+                "banded assignment differs at {threads} worker thread(s), τ={threshold}"
+            );
+            assert_eq!(
+                got.clusters, reference.clusters,
+                "banded clusters differ at {threads} worker thread(s), τ={threshold}"
+            );
+        }
+        set_thread_limit(None);
+    }
+}
+
+#[test]
 fn workload_generation_is_deterministic() {
     let a = world(6);
     let b = world(6);

@@ -1,0 +1,120 @@
+//! `NeighborIndex` equivalence: the banded (sound LSH prune, lazy peel)
+//! strategy must produce the *identical* Lemma-8 edge set and the
+//! identical `Clustering` as the materialized exact `O(n²)` pass, on
+//! structured and adversarially random inputs alike. This is the pinned
+//! contract that lets e13 run `NaiveSampling` at n=10⁵ without changing a
+//! single output bit.
+
+use byzscore::cluster::{
+    cluster_players, neighbor_graph, peel_clusters, NeighborIndex, NeighborStrategy,
+};
+use byzscore_bitset::{BitVec, Bits};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force Lemma-8 adjacency straight from the definition.
+fn brute_adjacency(zvecs: &[BitVec], threshold: usize) -> Vec<Vec<u32>> {
+    (0..zvecs.len())
+        .map(|p| {
+            (0..zvecs.len())
+                .filter(|&q| q != p && zvecs[p].hamming(&zvecs[q]) <= threshold)
+                .map(|q| q as u32)
+                .collect()
+        })
+        .collect()
+}
+
+/// Random mixture: some tight camps, some uniform noise players.
+fn mixed_zvecs(seed: u64, n: usize, len: usize, spread: usize) -> Vec<BitVec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let camps = 1 + (seed as usize % 4);
+    let centers: Vec<BitVec> = (0..camps).map(|_| BitVec::random(&mut rng, len)).collect();
+    (0..n)
+        .map(|i| {
+            if i % 5 == 4 {
+                BitVec::random(&mut rng, len) // noise player
+            } else {
+                let flips = rng.gen_range(0..=spread.min(len));
+                let mut v = centers[i % camps].clone();
+                v.flip_random_distinct(&mut rng, flips);
+                v
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Edge sets are identical across strategies and match brute force,
+    /// across random sizes, lengths, and thresholds — covering all four
+    /// internal modes (exact / banded / scan / complete).
+    #[test]
+    fn banded_edge_set_equals_exact(seed in 0u64..60, n in 2usize..36, len in 1usize..300, t_raw in 0usize..330) {
+        let spread = (len / 16).max(1);
+        let zvecs = mixed_zvecs(seed, n, len, spread);
+        let threshold = t_raw % (len + 2); // sometimes ≥ len ⇒ complete graph
+        let exact = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Exact);
+        let banded = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Banded);
+        let brute = brute_adjacency(&zvecs, threshold);
+        prop_assert_eq!(&exact.adjacency(), &brute);
+        prop_assert_eq!(
+            &banded.adjacency(), &brute,
+            "banded ({}) edge set diverges at n={} len={} τ={}",
+            banded.mode_name(), n, len, threshold
+        );
+        prop_assert_eq!(exact.degrees(), banded.degrees());
+    }
+
+    /// Clustering is identical across strategies and matches the original
+    /// materialized `peel_clusters` reference, for every min_size regime.
+    #[test]
+    fn banded_peel_equals_exact(seed in 100u64..150, n in 2usize..30, len in 8usize..220, t_raw in 0usize..240, min_size in 1usize..12) {
+        let spread = (len / 16).max(1);
+        let zvecs = mixed_zvecs(seed, n, len, spread);
+        let threshold = t_raw % (len + 2);
+        let exact = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Exact);
+        let banded = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Banded);
+        let reference = peel_clusters(&zvecs, &neighbor_graph(&zvecs, threshold), min_size);
+        let from_exact = exact.peel(min_size);
+        let from_banded = banded.peel(min_size);
+        prop_assert_eq!(&from_exact.assignment, &reference.assignment);
+        prop_assert_eq!(&from_exact.clusters, &reference.clusters);
+        prop_assert_eq!(
+            &from_banded.assignment, &reference.assignment,
+            "banded ({}) assignment diverges at n={} len={} τ={} min={}",
+            banded.mode_name(), n, len, threshold, min_size
+        );
+        prop_assert_eq!(&from_banded.clusters, &reference.clusters);
+        prop_assert!(from_banded.is_partition());
+    }
+
+    /// `cluster_players` (Auto) stays pinned to the reference path.
+    #[test]
+    fn auto_strategy_matches_reference(seed in 200u64..230, n in 2usize..24, len in 4usize..160) {
+        let zvecs = mixed_zvecs(seed, n, len, (len / 8).max(1));
+        let threshold = len / 4;
+        let min_size = (n / 3).max(1);
+        let reference = peel_clusters(&zvecs, &neighbor_graph(&zvecs, threshold), min_size);
+        let auto = cluster_players(&zvecs, threshold, min_size);
+        prop_assert_eq!(auto.assignment, reference.assignment);
+        prop_assert_eq!(auto.clusters, reference.clusters);
+    }
+}
+
+/// Deterministic large-ish case that forces the *banded* bucket mode
+/// (wide bands) with multiple peels and leftovers.
+#[test]
+fn banded_bucket_mode_multi_peel() {
+    let zvecs = mixed_zvecs(7, 400, 640, 8);
+    let threshold = 30; // 640 / 31 = 20-bit bands ⇒ banded bucket mode
+    let banded = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Banded);
+    assert_eq!(banded.mode_name(), "banded");
+    let exact = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Exact);
+    assert_eq!(banded.adjacency(), exact.adjacency());
+    for min_size in [3usize, 40, 90] {
+        let a = banded.peel(min_size);
+        let b = peel_clusters(&zvecs, &exact.adjacency(), min_size);
+        assert_eq!(a.assignment, b.assignment, "min_size={min_size}");
+        assert_eq!(a.clusters, b.clusters, "min_size={min_size}");
+    }
+}
