@@ -99,8 +99,8 @@ fn bench_neighbor_graph(c: &mut Criterion) {
     group.finish();
 }
 
-/// Graph-level: full neighbor discovery + peel, exact vs banded, on
-/// many-small-cluster inputs (where the banded prune pays off most).
+/// Graph-level: full neighbor discovery + peel, exact vs the lazy
+/// strategies, on many-small-cluster inputs (where pruning pays off most).
 fn bench_neighbor_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("neighbor_index");
     group.sample_size(10);
@@ -110,11 +110,50 @@ fn bench_neighbor_index(c: &mut Criterion) {
         for (label, strategy) in [
             ("exact", NeighborStrategy::Exact),
             ("banded", NeighborStrategy::Banded),
+            ("grouped", NeighborStrategy::Grouped),
         ] {
             group.bench_with_input(BenchmarkId::new(label, players), &players, |bench, _| {
                 bench.iter(|| {
                     let idx = NeighborIndex::build(&zs, 10, strategy);
                     std::hint::black_box(idx.peel(per / 2).clusters.len())
+                });
+            });
+        }
+    }
+    // The grouped strategy's intended regime: heavy z-vector collapse
+    // (SmallRadius outputs inside planted clusters), here modeled as camps
+    // of exact duplicates — the group graph has 64 nodes for 4096 players.
+    {
+        let players = 4096usize;
+        let zs = camps(512, 64, players / 64, 0, 7);
+        for (label, strategy) in [
+            ("exact-dup", NeighborStrategy::Exact),
+            ("grouped-dup", NeighborStrategy::Grouped),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, players), &players, |bench, _| {
+                bench.iter(|| {
+                    let idx = NeighborIndex::build(&zs, 10, strategy);
+                    std::hint::black_box(idx.peel(32).clusters.len())
+                });
+            });
+        }
+    }
+    // Mid-τ regime (512/(48+1) = 10-bit exact bands would be too narrow):
+    // single-bit-flip multi-probe bucketing vs the old blocked-scan answer
+    // (exact) and the grouped route on duplicate-heavy input.
+    {
+        let players = 2048usize;
+        let tau = 48usize;
+        let zs = camps(512, 32, players / 32, 4, 6);
+        for (label, strategy) in [
+            ("exact-mid-tau", NeighborStrategy::Exact),
+            ("multi-probe", NeighborStrategy::Banded),
+            ("grouped-mid-tau", NeighborStrategy::Grouped),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, players), &players, |bench, _| {
+                bench.iter(|| {
+                    let idx = NeighborIndex::build(&zs, tau, strategy);
+                    std::hint::black_box(idx.peel(players / 64).clusters.len())
                 });
             });
         }

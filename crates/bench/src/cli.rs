@@ -18,11 +18,14 @@
 //! [`crate::registry::REGISTRY`].
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
+
+use byzscore_board::par::par_map_coarse;
 
 use crate::registry::{self, Experiment, REGISTRY};
 use crate::table::{json_string, json_string_array, Table};
-use crate::Scale;
+use crate::{Scale, TimingMode};
 
 /// Where JSON output goes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,8 +45,10 @@ pub struct Options {
     pub only: Vec<String>,
     /// `--scale`; `None` falls back to the `BYZ_FULL` environment switch.
     pub scale: Option<Scale>,
-    /// `--threads`: cap on worker threads per parallel phase.
+    /// `--threads`: cap on total worker threads (hierarchical budget).
     pub threads: Option<usize>,
+    /// `--timing`: how timed sweep cells measure `elapsed ms`.
+    pub timing: TimingMode,
     /// `--json` artifact destination.
     pub json: Option<JsonOut>,
 }
@@ -67,11 +72,16 @@ fn usage(prog: &str, fixed: Option<&str>) -> String {
         None => String::new(),
     };
     format!(
-        "usage: {prog} [--list]{only_synopsis} [--scale quick|full] [--threads N] [--json [PATH]]\n\n  \
+        "usage: {prog} [--list]{only_synopsis} [--scale quick|full] [--threads N] \
+         [--timing shared|isolated] [--json [PATH]]\n\n  \
          --list            print the experiment registry and exit\n{only_help}  \
          --scale SCALE     quick (default) or full (EXPERIMENTS.md sweep sizes;\n                    \
          BYZ_FULL=1 is the env equivalent)\n  \
-         --threads N       cap worker threads per parallel phase (default: all cores)\n  \
+         --threads N       cap total worker threads across all nested parallelism\n                    \
+         (default: all cores)\n  \
+         --timing MODE     shared (default): timed cells run concurrently, elapsed ms\n                    \
+         includes contention; isolated: each timed cell reruns serially\n                    \
+         with the full budget, column labeled \"elapsed ms (isolated)\"\n  \
          --json [PATH]     write JSON tables: bare --json emits one BENCH_<id>.json\n                    \
          per experiment; with PATH (or --json=PATH), one combined document\n  \
          --help            this text{fixed_note}"
@@ -129,6 +139,16 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
                     return Err("--threads must be ≥ 1".into());
                 }
                 opts.threads = Some(n);
+            }
+            "--timing" => {
+                let v = flag_value("--timing", &mut inline, &mut it, "shared|isolated")?;
+                opts.timing = match v.as_str() {
+                    "shared" => TimingMode::Shared,
+                    "isolated" => TimingMode::Isolated,
+                    other => {
+                        return Err(format!("unknown timing mode {other:?} (shared|isolated)"))
+                    }
+                };
             }
             "--json" => {
                 // Optional value: inline, or a following token that is not
@@ -223,29 +243,84 @@ pub struct RunRecord {
     pub tables: Vec<Table>,
 }
 
-/// Execute `experiments`, rendering each table as markdown to stdout and
-/// per-experiment timing to stderr; returns the records for serialization.
+/// Execute `experiments` under the current timing mode — concurrently for
+/// [`TimingMode::Shared`] (they are independent pure functions of their
+/// hard-coded seeds, sharing the hierarchical worker budget), strictly
+/// serially for [`TimingMode::Isolated`] (an isolated timing cell must
+/// not share the machine with sibling *experiments* either) — and return
+/// records in registry order. Renders nothing — the printing layer is
+/// [`run`]; tests compare records across thread counts through this.
+pub fn collect(experiments: &[&'static Experiment], scale: Scale) -> Vec<RunRecord> {
+    collect_each(experiments, scale, &|_, _| {})
+}
+
+/// Core executor behind [`collect`]/[`run`]: runs the experiments per the
+/// timing mode and invokes `done(index, record)` exactly once per record,
+/// in registry order, as soon as the completed prefix allows (under an
+/// internal lock, so callbacks never interleave) — long runs stream
+/// finished experiments instead of buffering everything to the end.
+fn collect_each(
+    experiments: &[&'static Experiment],
+    scale: Scale,
+    done: &(dyn Fn(usize, &RunRecord) + Sync),
+) -> Vec<RunRecord> {
+    let n = experiments.len();
+    let progress: Mutex<(Vec<Option<RunRecord>>, usize)> =
+        Mutex::new(((0..n).map(|_| None).collect(), 0));
+    let indices: Vec<usize> = (0..n).collect();
+    let exec = |&i: &usize| {
+        let x = experiments[i];
+        let t = Instant::now();
+        let tables = (x.runner)(scale);
+        let record = RunRecord {
+            experiment: x,
+            seconds: t.elapsed().as_secs_f64(),
+            tables,
+        };
+        let mut guard = progress.lock().expect("a runner panicked");
+        let (slots, flushed) = &mut *guard;
+        slots[i] = Some(record);
+        while *flushed < n {
+            let Some(rec) = &slots[*flushed] else { break };
+            done(*flushed, rec);
+            *flushed += 1;
+        }
+    };
+    match crate::timing_mode() {
+        TimingMode::Shared => {
+            par_map_coarse(&indices, exec);
+        }
+        TimingMode::Isolated => indices.iter().for_each(exec),
+    }
+    progress
+        .into_inner()
+        .expect("a runner panicked")
+        .0
+        .into_iter()
+        .map(|slot| slot.expect("every experiment recorded"))
+        .collect()
+}
+
+/// Execute `experiments` via [`collect_each`], rendering each table as
+/// markdown to stdout and per-experiment timing to stderr — streamed in
+/// registry order as experiments complete, so output is deterministic
+/// regardless of which experiment finishes first and a long run shows
+/// progress; returns the records for serialization.
 pub fn run(experiments: &[&'static Experiment], scale: Scale) -> Vec<RunRecord> {
     let start = Instant::now();
     println!(
         "# byzscore evaluation — scale: {scale:?}, {} experiment(s)",
         experiments.len()
     );
-    let mut records = Vec::with_capacity(experiments.len());
-    for x in experiments {
-        let t = Instant::now();
-        let tables = (x.runner)(scale);
-        let seconds = t.elapsed().as_secs_f64();
-        for table in &tables {
+    let records = collect_each(experiments, scale, &|_, rec| {
+        for table in &rec.tables {
             table.print();
         }
-        eprintln!("[{}] {} done in {seconds:.1}s", x.id, x.name);
-        records.push(RunRecord {
-            experiment: x,
-            seconds,
-            tables,
-        });
-    }
+        eprintln!(
+            "[{}] {} done in {:.1}s",
+            rec.experiment.id, rec.experiment.name, rec.seconds
+        );
+    });
     eprintln!(
         "all {} experiment(s) done in {:.1}s",
         experiments.len(),
@@ -346,6 +421,7 @@ pub fn execute(opts: Options) -> Result<(), String> {
             .map_err(|e| format!("cannot write --json path {}: {e}", path.display()))?;
     }
     byzscore_board::par::set_thread_limit(opts.threads);
+    crate::set_timing_mode(opts.timing);
     let scale = opts.scale.unwrap_or_else(Scale::from_env);
     let records = run(&experiments, scale);
     if let Some(json) = &opts.json {
@@ -436,6 +512,13 @@ mod tests {
 
         let o = parse(args(&["--only", "e01", "--json"])).unwrap();
         assert_eq!(o.json, Some(JsonOut::PerExperiment));
+        assert_eq!(o.timing, TimingMode::Shared);
+
+        let o = parse(args(&["--timing", "isolated"])).unwrap();
+        assert_eq!(o.timing, TimingMode::Isolated);
+        let o = parse(args(&["--timing=shared"])).unwrap();
+        assert_eq!(o.timing, TimingMode::Shared);
+        assert!(parse(args(&["--timing", "fast"])).is_err());
 
         let o = parse(args(&["--json", "out.json"])).unwrap();
         assert_eq!(o.json, Some(JsonOut::Path(PathBuf::from("out.json"))));

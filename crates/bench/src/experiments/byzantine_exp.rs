@@ -124,7 +124,7 @@ pub fn e09_byzantine(scale: Scale) -> Vec<Table> {
                 .filter(|&&p| out.probes.counts()[p as usize] > 0) // honest proxy
                 .map(|&p| {
                     use byzscore_bitset::Bits;
-                    out.output
+                    out.output()
                         .row(p as usize)
                         .hamming(&inst.truth().row(p as usize)) as f64
                 })
@@ -255,7 +255,7 @@ pub fn e11_comparison(scale: Scale) -> Vec<Table> {
             "mean err",
             "max probes",
             "peak claim slots",
-            "elapsed ms",
+            crate::elapsed_header(),
         ],
     );
     let mut byz = Table::new(
@@ -268,12 +268,14 @@ pub fn e11_comparison(scale: Scale) -> Vec<Table> {
             "mean honest err",
             "max honest probes",
             "peak claim slots",
-            "elapsed ms",
+            crate::elapsed_header(),
         ],
     );
 
     // All algorithms are independent sweep points of each trial's worlds;
-    // aggregate per algorithm across trials afterwards.
+    // aggregate per algorithm across trials afterwards. Under `--timing
+    // isolated` each cell runs serially instead (identical results, clean
+    // wall-clock).
     let mut h_outs: Vec<Vec<byzscore::Outcome>> = vec![Vec::new(); algorithms.len()];
     let mut b_outs: Vec<Vec<byzscore::Outcome>> = vec![Vec::new(); algorithms.len()];
     for t in 0..trials {
@@ -292,10 +294,16 @@ pub fn e11_comparison(scale: Scale) -> Vec<Table> {
             .iter()
             .map(|&alg| SweepPoint::new(alg, 37 + t as u64))
             .collect();
-        for (ai, out) in honest_sys.run_sweep(&h_points).into_iter().enumerate() {
+        for (ai, out) in super::run_points(&honest_sys, &h_points)
+            .into_iter()
+            .enumerate()
+        {
             h_outs[ai].push(out);
         }
-        for (ai, out) in byz_sys.run_sweep(&b_points).into_iter().enumerate() {
+        for (ai, out) in super::run_points(&byz_sys, &b_points)
+            .into_iter()
+            .enumerate()
+        {
             b_outs[ai].push(out);
         }
     }
@@ -322,11 +330,17 @@ pub fn e11_comparison(scale: Scale) -> Vec<Table> {
         ]);
     }
     for t in [&mut honest, &mut byz] {
-        t.note(
-            "elapsed ms is wall-clock while the sweep's other algorithms run \
-             concurrently (contended); use `cargo bench -p byzscore-bench` for \
-             isolated timings.",
-        );
+        t.note(match crate::timing_mode() {
+            crate::TimingMode::Shared => {
+                "elapsed ms is wall-clock while the sweep's other algorithms run \
+                 concurrently (contended); rerun with --timing isolated for \
+                 uncontended per-cell timings."
+            }
+            crate::TimingMode::Isolated => {
+                "elapsed ms (isolated): each cell ran serially with the full \
+                 worker budget to itself."
+            }
+        });
     }
     vec![honest, byz]
 }

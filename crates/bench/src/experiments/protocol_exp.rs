@@ -98,7 +98,7 @@ pub fn e06_probe_complexity(scale: Scale) -> Vec<Table> {
             "max honest probes",
             "probes/(B·ln³n)",
             "total probes",
-            "elapsed ms",
+            crate::elapsed_header(),
         ],
     );
 
@@ -140,7 +140,7 @@ pub fn e06_probe_complexity(scale: Scale) -> Vec<Table> {
             "max honest probes",
             "fraction of m",
             "max err",
-            "elapsed ms",
+            crate::elapsed_header(),
         ],
     );
     let ns_b = scale.pick(vec![512usize, 1024, 2048], vec![1024, 2048, 4096]);
@@ -316,13 +316,13 @@ pub fn e08_lower_bound(scale: Scale) -> Vec<Table> {
                 let mask = BitVec::from_indices(n, &special);
                 for &p in &planted.clusters[0] {
                     let err_s = out
-                        .output
+                        .output()
                         .row(p as usize)
                         .hamming_masked(&inst.truth().row(p as usize), &mask);
                     s_min = s_min.min(err_s);
                     s_errs.push(err_s as f64);
                     full_errs.push(
-                        out.output
+                        out.output()
                             .row(p as usize)
                             .hamming(&inst.truth().row(p as usize)) as f64,
                     );
@@ -357,7 +357,7 @@ pub fn e12_budgets(scale: Scale) -> Vec<Table> {
             "max err",
             "mean err",
             "max honest probes",
-            "elapsed ms",
+            crate::elapsed_header(),
         ],
     );
 

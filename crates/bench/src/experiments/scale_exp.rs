@@ -4,19 +4,22 @@
 use byzscore::{Algorithm, ClusterSpec, ProtocolParams, Session, SweepPoint};
 
 use crate::table::{f2, Table};
-use crate::Scale;
+use crate::{Scale, TimingMode};
 
 /// **E13 / ROADMAP "scale the substrate past simulation sizes"** — sweep
 /// `n` up to 10⁵ players (2·10⁵ at full scale) on
 /// [`byzscore::ProceduralTruth`]: truth bits are regenerated on demand from
 /// `(seed, cluster model)`, so no `n × m` truth matrix is ever
-/// materialized. `GlobalMajority` and `NaiveSampling` run at every size —
-/// the former PR's n=10⁴ cap on `NaiveSampling` is gone: neighbor
-/// discovery goes through `NeighborIndex`, so the Lemma-8 adjacency
-/// (~1.6·10⁸ list entries per planted clique) is never materialized, and
-/// wide-band diameter guesses are pruned sub-quadratically (mid-τ guesses
-/// fall back to the unmaterialized blocked scan — see DESIGN.md §4.8).
-/// Each size's algorithms execute as one parallel [`Session::run_sweep`].
+/// materialized, and outcomes stream per-player errors
+/// ([`byzscore::OutputSink::ErrorStream`]) instead of holding dense output
+/// matrices. `GlobalMajority` and `NaiveSampling` run at every size;
+/// neighbor discovery goes through the grouped `NeighborIndex` strategy —
+/// bit-identical `z`-vectors (planted clusters collapse sample outputs
+/// heavily) are deduplicated before banding, so every diameter guess,
+/// including the mid-`τ` ones that used to fall onto the `O(n²)` blocked
+/// scan, runs over a group graph orders of magnitude smaller than `n`
+/// (DESIGN.md §4.8). Each size's algorithms execute as one parallel
+/// [`Session::run_sweep`] (serially under `--timing isolated`).
 pub fn e13_scale_frontier(scale: Scale) -> Vec<Table> {
     let m = 1024usize;
     let b = 8usize;
@@ -38,7 +41,7 @@ pub fn e13_scale_frontier(scale: Scale) -> Vec<Table> {
             "mean err",
             "peak claim slots",
             "claim posts",
-            "elapsed ms",
+            crate::elapsed_header(),
         ],
     );
 
@@ -53,13 +56,14 @@ pub fn e13_scale_frontier(scale: Scale) -> Vec<Table> {
         let session = Session::builder()
             .procedural(spec)
             .params(ProtocolParams::with_budget(b))
+            .output_sink(byzscore::OutputSink::ErrorStream)
             .build();
 
         let points = vec![
             SweepPoint::new(Algorithm::GlobalMajority, 41),
             SweepPoint::new(Algorithm::NaiveSampling, 43),
         ];
-        for out in session.run_sweep(&points) {
+        for out in super::run_points(&session, &points) {
             table.row(vec![
                 n.to_string(),
                 out.algorithm.clone(),
@@ -73,17 +77,27 @@ pub fn e13_scale_frontier(scale: Scale) -> Vec<Table> {
         }
     }
     table.note(format!(
-        "NaiveSampling is uncapped (was n≤10⁴): neighbor discovery routes \
-         through NeighborIndex, which prunes wide-band diameter guesses with \
-         τ+1 bit-bands (sound by pigeonhole, survivors verified exactly), \
-         degrades to an unmaterialized blocked scan for mid-τ guesses, and \
-         peels lazily — adjacency is never materialized, so each planted \
-         cluster's clique (~{:.1}e8 adjacency-list entries at n=100000) costs \
-         no memory. Dense truth at n=100000, m={m} would be {:.1} MB per run; \
-         the procedural backend stores only {b} cluster centers. elapsed ms \
-         is wall-clock under concurrent sweep execution.",
+        "NaiveSampling is uncapped (was n≤10⁴): discovery groups \
+         bit-identical z-vectors first (planted clusters collapse sample \
+         outputs, so the group graph is far smaller than n), prunes the \
+         group graph with τ+1 bit-bands — single-bit-flip multi-probe \
+         bands at mid-τ, popcount-prefiltered scan beyond — and peels \
+         lazily: per-player adjacency is never materialized, so each \
+         planted cluster's clique (~{:.1}e8 adjacency-list entries at \
+         n=100000) costs no memory. Dense truth at n=100000, m={m} would \
+         be {:.1} MB per run; the procedural backend stores only {b} \
+         cluster centers, and the ErrorStream sink drops output rows once \
+         their errors are folded. {}",
         (100_000.0 / b as f64).powi(2) / 1.0e8,
-        100_000.0 * m as f64 / 8.0 / 1.0e6
+        100_000.0 * m as f64 / 8.0 / 1.0e6,
+        match crate::timing_mode() {
+            TimingMode::Shared =>
+                "elapsed ms is wall-clock under concurrent sweep execution \
+                 (rerun with --timing isolated for uncontended cells).",
+            TimingMode::Isolated =>
+                "elapsed ms (isolated) is wall-clock with each cell run \
+                 serially, the full worker budget to itself.",
+        }
     ));
     vec![table]
 }

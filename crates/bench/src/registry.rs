@@ -21,7 +21,11 @@ pub struct Experiment {
     /// Free-form labels for filtering (`--only @tag` selects by tag).
     pub tags: &'static [&'static str],
     /// The measurement function. Runners build tables and return them
-    /// without printing; rendering is the engine's job.
+    /// without printing; rendering is the engine's job. Runners execute
+    /// *concurrently* with other registry entries (`cli::collect`), so
+    /// they must be pure functions of `(scale, hard-coded seeds)` — no
+    /// shared mutable state beyond the process-wide knobs the engine sets
+    /// before the fan-out (thread budget, timing mode).
     pub runner: fn(Scale) -> Vec<Table>,
 }
 

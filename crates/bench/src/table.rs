@@ -38,6 +38,16 @@ impl Table {
         self.notes.push(line.into());
     }
 
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Table title.
     pub fn title(&self) -> &str {
         &self.title

@@ -1,0 +1,71 @@
+//! Engine-level determinism: registry experiments run *concurrently*
+//! (`cli::collect` fans them out under the hierarchical worker budget),
+//! and their tables must be bit-identical to each other under any thread
+//! count — the experiment-level analogue of the sweep- and phase-level
+//! fences in `tests/determinism.rs`.
+
+use byzscore_bench::cli::{collect, resolve};
+use byzscore_bench::Scale;
+use byzscore_board::par::set_thread_limit;
+
+/// Strip timing cells (same marker rule as `scripts/check_bench.py`):
+/// wall-clock is the one column allowed to differ between runs.
+fn stable_cells(records: &[byzscore_bench::cli::RunRecord]) -> Vec<Vec<Vec<String>>> {
+    records
+        .iter()
+        .map(|rec| {
+            rec.tables
+                .iter()
+                .map(|t| {
+                    let keep: Vec<usize> = t
+                        .headers()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, h)| {
+                            let h = h.to_lowercase();
+                            h != "ms"
+                                && !h.contains("elapsed")
+                                && !h.contains(" ms")
+                                && !h.contains("seconds")
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    let mut cells = vec![t.title().to_string()];
+                    cells.extend(keep.iter().map(|&i| t.headers()[i].clone()));
+                    for row in t.rows() {
+                        cells.extend(keep.iter().map(|&i| row[i].clone()));
+                    }
+                    cells
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_experiments_are_bit_identical_across_thread_counts() {
+    // A cheap but heterogeneous slice of the registry: block-level,
+    // protocol-level, and election experiments, all with sub-second quick
+    // runs. They execute concurrently inside one `collect` call.
+    let picked = resolve(&[
+        "e01".to_string(),
+        "e02".to_string(),
+        "e04".to_string(),
+        "e10".to_string(),
+    ])
+    .expect("selectors resolve");
+
+    set_thread_limit(Some(1));
+    let reference = stable_cells(&collect(&picked, Scale::Quick));
+    assert_eq!(reference.len(), 4, "one record per experiment, in order");
+
+    for threads in [2usize, 8] {
+        set_thread_limit(Some(threads));
+        let got = stable_cells(&collect(&picked, Scale::Quick));
+        assert_eq!(
+            got, reference,
+            "experiment tables differ at {threads} worker thread(s)"
+        );
+    }
+    set_thread_limit(None);
+}

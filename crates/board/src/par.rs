@@ -1,4 +1,5 @@
-//! Deterministic phase-parallelism over players.
+//! Deterministic phase-parallelism over players, under one hierarchical
+//! work budget.
 //!
 //! Every step of Figures 1–2 has the shape "all players do X"; the
 //! simulator executes such phases with scoped threads over player ranges.
@@ -6,18 +7,33 @@
 //! regardless of the number of worker threads — reproducibility is a
 //! property the experiments rely on (see `tests/determinism.rs`).
 //!
-//! The worker count defaults to all available cores and can be capped
+//! # The permit pool
+//!
+//! Parallel regions nest: the engine fans out over experiments, an
+//! experiment over sweep points, a sweep point over protocol phases. A
+//! per-level worker cap would multiply across levels (engine × sweep ×
+//! phase workers); instead every region — coarse or fine — draws *extra*
+//! workers from one process-wide pool of `budget − 1` permits (the
+//! region's own calling thread is always free, because it is either the
+//! root thread or a worker that already holds a permit). A region takes
+//! what is available without waiting, runs with `1 + taken` workers, and
+//! each worker returns its permit the moment its chunk completes, so
+//! permits flow down the hierarchy to whatever has runnable work. Total
+//! live workers never exceed the budget, at any nesting depth, and no
+//! acquisition blocks — the pool cannot deadlock.
+//!
+//! The budget defaults to all available cores and can be capped
 //! process-wide with [`set_thread_limit`] (plumbed from the bench CLI's
 //! `--threads` flag); the cap affects only speed, never results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Process-wide cap on workers per phase; 0 means "no cap" (use all
+/// Process-wide cap on total workers; 0 means "no cap" (use all
 /// available cores).
 static THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
 
-/// Cap the number of worker threads used per parallel phase (`None`
-/// restores the default of all available cores).
+/// Cap the total number of worker threads across every nested parallel
+/// region (`None` restores the default of all available cores).
 ///
 /// The cap is global and takes effect for subsequently started phases;
 /// results are identical under any cap by construction. `Some(0)` is
@@ -36,6 +52,124 @@ pub fn thread_limit() -> Option<usize> {
     }
 }
 
+/// Extra workers currently live across every level of the region
+/// hierarchy (beyond each region's own calling thread).
+static EXTRA_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The effective worker budget: the cap, or all available cores.
+fn budget() -> usize {
+    thread_limit().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get()))
+}
+
+/// Phases below this many items run sequentially — thread spawn costs more
+/// than the work.
+const SEQ_CUTOFF: usize = 32;
+
+/// A batch of extra-worker permits drawn from the global pool. Dropping
+/// returns the remaining permits; [`Permits::split_one`] peels a single
+/// permit off so each worker can release its own as soon as it finishes.
+struct Permits(usize);
+
+impl Permits {
+    /// Take up to `want` permits without waiting (possibly zero).
+    fn acquire(want: usize) -> Permits {
+        if want == 0 {
+            return Permits(0);
+        }
+        let pool = budget().saturating_sub(1);
+        let mut cur = EXTRA_WORKERS.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(pool.saturating_sub(cur));
+            if take == 0 {
+                return Permits(0);
+            }
+            match EXTRA_WORKERS.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Permits(take),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Move one held permit into its own batch.
+    fn split_one(&mut self) -> Permits {
+        debug_assert!(self.0 > 0, "no permit left to split");
+        self.0 -= 1;
+        Permits(1)
+    }
+
+    /// Return every permit above `keep` to the pool immediately.
+    fn release_down_to(&mut self, keep: usize) {
+        if self.0 > keep {
+            EXTRA_WORKERS.fetch_sub(self.0 - keep, Ordering::Relaxed);
+            self.0 = keep;
+        }
+    }
+}
+
+impl Drop for Permits {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            EXTRA_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Shared fork: run `f` over `0..n`, order-collected. `coarse` regions
+/// skip the tiny-phase sequential cutoff (whole protocol runs are worth a
+/// thread each even at 2 items).
+fn par_run<T, F>(n: usize, coarse: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if !coarse && n < SEQ_CUTOFF {
+        return (0..n).map(f).collect();
+    }
+    let mut permits = Permits::acquire(n - 1);
+    let threads = permits.0 + 1;
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    // Chunk rounding can leave fewer chunks than acquired workers
+    // (e.g. n=100, threads=32 ⇒ chunk=4 ⇒ 25 chunks): hand the surplus
+    // permits back now rather than hold them idle for the whole region.
+    permits.release_down_to(n.div_ceil(chunk) - 1);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (first, rest) = out.split_at_mut(chunk.min(n));
+        for (t, slot_chunk) in rest.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = (t + 1) * chunk;
+            // Each worker carries its own permit and frees it on exit, so
+            // siblings (or nested phases) can pick it up before the whole
+            // region joins.
+            let permit = permits.split_one();
+            scope.spawn(move || {
+                let _permit = permit;
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(start + i));
+                }
+            });
+        }
+        // The calling thread works the first chunk itself.
+        for (i, slot) in first.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
 /// Apply `f` to every player index in `0..n`, in parallel, returning results
 /// in player order.
 ///
@@ -46,26 +180,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads_for(n);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let start = t * chunk;
-            scope.spawn(move || {
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(start + i));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("worker filled slot"))
-        .collect()
+    par_run(n, false, f)
 }
 
 /// Apply `f` to each item of `items` in parallel, preserving order.
@@ -75,96 +190,23 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let n = items.len();
-    let threads = threads_for(n);
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let start = t * chunk;
-            scope.spawn(move || {
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(&items[start + i]));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("worker filled slot"))
-        .collect()
+    par_run(items.len(), false, |i| f(&items[i]))
 }
-
-/// Coarse workers currently fanned out by [`par_map_coarse`] calls.
-/// Inner phases divide the thread budget by this, so a sweep of S points
-/// whose runs each parallelize over players stays at ≈ budget total
-/// workers instead of S × budget.
-static COARSE_FANOUT: AtomicUsize = AtomicUsize::new(1);
 
 /// Apply `f` to each item in parallel like [`par_map_items`], but without
 /// the tiny-phase sequential cutoff: intended for *coarse* work items
-/// (whole protocol runs, sweep points) where even 2–8 items are worth a
-/// thread each. While the coarse workers run, *inner* phase parallelism
-/// ([`par_map_players`]/[`par_map_items`] called from `f`) shares the
-/// process-wide budget: each inner phase gets `budget / fanout` workers,
-/// so the total stays within the [`set_thread_limit`] cap. Results are
-/// order-preserving, so output is bit-identical under any thread count.
+/// (whole experiments, protocol runs, sweep points) where even 2–8 items
+/// are worth a thread each. Coarse and fine regions share the one permit
+/// pool (module docs), so nesting coarse maps never multiplies worker
+/// counts. Results are order-preserving, so output is bit-identical under
+/// any thread count.
 pub fn par_map_coarse<I, T, F>(items: &[I], f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let n = items.len();
-    let cap = thread_limit()
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get()));
-    let threads = cap.min(n).max(1);
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    // Drop guard so a panicking worker (propagated by thread::scope)
-    // cannot leave the fan-out inflated and throttle the whole process.
-    struct FanoutGuard(usize);
-    impl Drop for FanoutGuard {
-        fn drop(&mut self) {
-            COARSE_FANOUT.fetch_sub(self.0, Ordering::Relaxed);
-        }
-    }
-    COARSE_FANOUT.fetch_add(threads - 1, Ordering::Relaxed);
-    let _guard = FanoutGuard(threads - 1);
-
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let start = t * chunk;
-            scope.spawn(move || {
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(&items[start + i]));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("worker filled slot"))
-        .collect()
-}
-
-fn threads_for(n: usize) -> usize {
-    if n < 32 {
-        // Tiny phases are faster sequentially than through thread spawn.
-        return 1;
-    }
-    let cap = thread_limit()
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get()));
-    // Share the budget with any coarse fan-out in flight (never affects
-    // results, only worker counts).
-    let fanout = COARSE_FANOUT.load(Ordering::Relaxed).max(1);
-    (cap / fanout).min(n).max(1)
+    par_run(items.len(), true, |i| f(&items[i]))
 }
 
 #[cfg(test)]
@@ -212,5 +254,44 @@ mod tests {
         let seq: Vec<usize> = (0..300usize).map(|p| p.wrapping_mul(31) ^ 7).collect();
         let par = par_map_players(300, |p: usize| p.wrapping_mul(31) ^ 7);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn nested_regions_share_one_pool() {
+        // A coarse fan-out whose items run fine phases: results must be
+        // identical to the sequential composition at whatever worker
+        // counts the pool hands out.
+        let items: Vec<usize> = (0..6).collect();
+        let nested = par_map_coarse(&items, |&i| {
+            par_map_players(100, move |p| p * i)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let flat: Vec<usize> = items
+            .iter()
+            .map(|&i| (0..100).map(|p| p * i).sum::<usize>())
+            .collect();
+        assert_eq!(nested, flat);
+    }
+
+    #[test]
+    fn permits_respect_the_pool_bound() {
+        // Two batches held at once can never exceed the pool (other tests
+        // may hold permits concurrently — the bound still applies).
+        let pool = budget().saturating_sub(1);
+        let a = Permits::acquire(usize::MAX);
+        let b = Permits::acquire(usize::MAX);
+        assert!(a.0 + b.0 <= pool, "over-acquired: {} + {}", a.0, b.0);
+        drop(a);
+        drop(b);
+        // A split permit releases independently of its parent batch.
+        let mut c = Permits::acquire(2);
+        if c.0 > 0 {
+            let held = c.0;
+            let one = c.split_one();
+            assert_eq!(one.0 + c.0, held);
+            drop(one);
+        }
+        drop(c);
     }
 }

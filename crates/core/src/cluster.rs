@@ -2,7 +2,7 @@
 //! peeling (§6.5, Lemmas 8–9).
 //!
 //! The Lemma-8 edge set — `(p, q)` is an edge iff `|z(p) − z(q)| ≤ τ` — is
-//! produced by a [`NeighborIndex`], which offers two discovery strategies
+//! produced by a [`NeighborIndex`], which offers three discovery strategies
 //! behind one API:
 //!
 //! * [`NeighborStrategy::Exact`] — the literal all-pairs `O(n²)`
@@ -21,14 +21,31 @@
 //!   `n/B = 12 500` players at `n = 10⁵` is a clique of ~7.8·10⁷ edges,
 //!   ~1.6·10⁸ adjacency-list entries) cost no memory.
 //!
-//! Both strategies fall back to an explicit complete-graph shortcut when
+//! * [`NeighborStrategy::Grouped`] — deduplicate bit-identical `z`-vectors
+//!   first and work on the *group graph*. Distance-0 players are neighbors
+//!   at any `τ ≥ 0`, so every member of a group has exactly the same
+//!   neighborhood (its group mates plus every member of each group whose
+//!   representative is within `τ`): the Lemma-8 edge set factors through
+//!   groups, and discovery plus peeling run over `G ≤ n` representatives
+//!   weighted by multiplicity. `SmallRadius`/sample outputs collapse
+//!   heavily inside planted clusters, so at e13 scale `G` is orders of
+//!   magnitude below `n` and the quadratic part shrinks by `(G/n)²`.
+//!   When grouping barely collapses (`G > 7n/8`) the strategy falls back
+//!   to direct banding over players, which is strictly cheaper there.
+//!
+//! All strategies fall back to an explicit complete-graph shortcut when
 //! `τ ≥ |S|` (every pair is trivially within threshold — the empty-sample
-//! sabotage case), and banded discovery degrades to an unmaterialized
-//! blocked scan when `τ + 1` bands would be too narrow to prune
-//! (`< MIN_BAND_BITS` bits each). The scan fallback still verifies all
-//! `O(n²)` pairs — just through the blocked kernel and without building
-//! adjacency — so for mid-range thresholds the win is memory and constant
-//! factors, not asymptotics (ROADMAP "neighbor discovery beyond bands").
+//! sabotage case). Banded discovery keeps pruning at mid-range thresholds
+//! via *multi-probe* bucketing: when `τ + 1` exact-match bands would be too
+//! narrow (`< MIN_BAND_BITS` bits), it uses `⌊τ/2⌋ + 1` wider bands — some
+//! band then differs in at most one bit, so probing the exact bucket plus
+//! every single-bit-flip bucket keeps the prune sound. Only when even those
+//! bands would be too narrow does discovery degrade to the unmaterialized
+//! blocked scan, and that scan now carries a per-band popcount prefilter:
+//! the L1 distance of two players' per-band popcount profiles lower-bounds
+//! their Hamming distance, so far pairs are rejected from a few bytes
+//! without touching the word kernels (ROADMAP "neighbor discovery beyond
+//! bands").
 
 use std::collections::HashMap;
 
@@ -75,13 +92,20 @@ impl Clustering {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum NeighborStrategy {
     /// Pick per input shape: `Exact` up to [`AUTO_EXACT_MAX`] players
-    /// (materialization is cheap there), `Banded` beyond.
+    /// (materialization is cheap there), `Grouped` beyond (which itself
+    /// bands directly when dedup barely collapses).
     #[default]
     Auto,
     /// All-pairs `O(n²)` bounded-distance pass with materialized adjacency.
     Exact,
     /// Banded prefilter + exact verification; adjacency never materialized.
     Banded,
+    /// Deduplicate bit-identical vectors, discover edges over group
+    /// representatives (weighted by multiplicity), expand during peel.
+    /// Falls back to the banded path when grouping barely collapses
+    /// (`G > 7n/8`) — there the group indirection would cost more than
+    /// it prunes.
+    Grouped,
 }
 
 /// Largest player count for which [`NeighborStrategy::Auto`] still picks
@@ -93,43 +117,76 @@ pub const AUTO_EXACT_MAX: usize = 4096;
 /// index degrades to an unmaterialized blocked scan.
 const MIN_BAND_BITS: usize = 16;
 
+/// Width (bits) of the popcount-profile bands backing the scan-mode
+/// prefilter.
+const PC_BAND_BITS: usize = 8;
+
 enum Mode {
     /// `threshold ≥ |S|`: every pair is an edge; nothing is stored.
     Complete,
     /// Exact strategy: full adjacency lists (sorted ascending).
     Materialized(Vec<Vec<u32>>),
-    /// Banded prefilter: per-band hash buckets prune candidate pairs.
+    /// Banded prefilter: per-band hash buckets prune candidate pairs
+    /// (exact-match bands, or wider multi-probe bands at mid-range `τ`).
     Banded(Bands),
-    /// Banded strategy whose bands would be too narrow: verify every pair
-    /// on demand with the blocked kernel, never materialize.
-    Scan,
+    /// Bands too narrow even for multi-probe: verify every pair on demand
+    /// with the blocked kernel behind a per-band popcount prefilter; never
+    /// materialize.
+    Scan(PopFilter),
+    /// Bit-identical vectors deduplicated; an inner index over the group
+    /// representatives answers group-graph queries, expanded back to
+    /// players on the fly.
+    Grouped(Groups),
 }
 
 struct Bands {
-    /// Number of bands (`threshold + 1`).
+    /// Number of bands (`threshold + 1`, or `⌊threshold/2⌋ + 1` when
+    /// multi-probing).
     k: usize,
+    /// Vector length (needed to recompute band boundaries for probing).
+    len: usize,
+    /// Single-bit-flip probing active (mid-`τ` mode).
+    probe: bool,
     /// `keys[p * k + j]` = FNV hash of player `p`'s bits in band `j`.
     keys: Vec<u64>,
+    /// Raw band contents (`≤ 64` bits each); only filled when probing,
+    /// where flipped-key computation needs them.
+    contents: Vec<u64>,
     /// Per-band: band key → players carrying it (ascending, by build order).
     buckets: Vec<HashMap<u64, Vec<u32>>>,
 }
 
 impl Bands {
-    fn build(rows: &BitMatrix, k: usize) -> Bands {
+    fn build(rows: &BitMatrix, k: usize, probe: bool) -> Bands {
         let n = rows.rows();
         let len = rows.cols();
         let mut keys = Vec::with_capacity(n * k);
+        let mut contents = Vec::with_capacity(if probe { n * k } else { 0 });
         let mut buckets: Vec<HashMap<u64, Vec<u32>>> = (0..k).map(|_| HashMap::new()).collect();
         for p in 0..n {
             let words = rows.row(p);
             for (j, bucket) in buckets.iter_mut().enumerate() {
                 let (start, end) = band_range(len, k, j);
-                let key = band_key(words.words(), start, end);
+                let key = if probe {
+                    debug_assert!(end - start <= 64, "multi-probe bands must fit one word");
+                    let content = extract_bits(words.words(), start, end - start);
+                    contents.push(content);
+                    fnv_u64(content)
+                } else {
+                    band_key(words.words(), start, end)
+                };
                 keys.push(key);
                 bucket.entry(key).or_default().push(p as u32);
             }
         }
-        Bands { k, keys, buckets }
+        Bands {
+            k,
+            len,
+            probe,
+            keys,
+            contents,
+            buckets,
+        }
     }
 
     #[inline]
@@ -154,18 +211,148 @@ impl Bands {
         p: usize,
         mut f: impl FnMut(usize),
     ) {
+        if !self.probe {
+            for (j, bucket_map) in buckets.iter().enumerate() {
+                let Some(bucket) = bucket_map.get(&self.key(p, j)) else {
+                    continue;
+                };
+                for &q32 in bucket {
+                    let q = q32 as usize;
+                    if q != p && !self.shares_band_before(p, q, j) {
+                        f(q);
+                    }
+                }
+            }
+            return;
+        }
+        // Multi-probe: with `k = ⌊τ/2⌋ + 1` bands a pair within `τ` has
+        // some band differing in at most `⌊τ/k⌋ ≤ 1` bits, so its bucket is
+        // reached either by the exact key or by flipping exactly one bit of
+        // `p`'s band content. A candidate can surface through several
+        // probes; collect + sort + dedup, order never matters to callers.
+        let mut cands: Vec<u32> = Vec::new();
         for (j, bucket_map) in buckets.iter().enumerate() {
-            let Some(bucket) = bucket_map.get(&self.key(p, j)) else {
-                continue;
-            };
-            for &q32 in bucket {
-                let q = q32 as usize;
-                if q != p && !self.shares_band_before(p, q, j) {
-                    f(q);
+            if let Some(bucket) = bucket_map.get(&self.key(p, j)) {
+                cands.extend_from_slice(bucket);
+            }
+            let (start, end) = band_range(self.len, self.k, j);
+            let content = self.contents[p * self.k + j];
+            for bit in 0..(end - start) {
+                if let Some(bucket) = bucket_map.get(&fnv_u64(content ^ (1u64 << bit))) {
+                    cands.extend_from_slice(bucket);
                 }
             }
         }
+        cands.sort_unstable();
+        cands.dedup();
+        for q32 in cands {
+            let q = q32 as usize;
+            if q != p {
+                f(q);
+            }
+        }
     }
+}
+
+/// Per-band popcount profiles: the L1 distance between two players'
+/// profiles lower-bounds their Hamming distance (each band contributes at
+/// least `|pc_j(p) − pc_j(q)|` differing bits), so scan-mode pair checks
+/// reject far pairs from a handful of byte-sized counters.
+struct PopFilter {
+    k: usize,
+    counts: Vec<u16>,
+}
+
+impl PopFilter {
+    fn build(rows: &BitMatrix) -> PopFilter {
+        let n = rows.rows();
+        let len = rows.cols();
+        let k = (len / PC_BAND_BITS).clamp(1, 64);
+        let mut counts = Vec::with_capacity(n * k);
+        for p in 0..n {
+            let words = rows.row(p);
+            for j in 0..k {
+                let (start, end) = band_range(len, k, j);
+                counts.push(popcount_range(words.words(), start, end) as u16);
+            }
+        }
+        PopFilter { k, counts }
+    }
+
+    /// True iff the popcount lower bound does not already exceed
+    /// `threshold` (a `false` is a proven non-edge; a `true` still needs
+    /// exact verification).
+    #[inline]
+    fn admits(&self, p: usize, q: usize, threshold: usize) -> bool {
+        let a = &self.counts[p * self.k..(p + 1) * self.k];
+        let b = &self.counts[q * self.k..(q + 1) * self.k];
+        let mut l1 = 0usize;
+        for (x, y) in a.iter().zip(b) {
+            l1 += x.abs_diff(*y) as usize;
+        }
+        l1 <= threshold
+    }
+}
+
+/// Bit-identical-vector grouping plus an inner index over representatives.
+///
+/// Soundness of the factoring: members of one group are at distance 0, so
+/// they are mutual neighbors at every `τ ≥ 0`, and `|z(p) − z(q)|` depends
+/// only on the groups of `p` and `q` — the Lemma-8 edge set is exactly
+/// "same group, or groups whose representatives are within `τ`".
+struct Groups {
+    /// Player → group id (ids in order of first appearance).
+    group_of: Vec<u32>,
+    /// Group member lists, each ascending; `members[g][0]` is the
+    /// representative (and the group's smallest player index).
+    members: Vec<Vec<u32>>,
+    /// Index over the representative vectors, same threshold. Never
+    /// `Grouped` itself (groups are distinct by construction).
+    inner: Box<NeighborIndex>,
+}
+
+/// The banded-family mode for this shape: exact-match bands when `τ+1`
+/// bands are wide enough, multi-probe bands at mid-`τ`, prefiltered scan
+/// beyond.
+fn banded_mode(rows: &BitMatrix, threshold: usize) -> Mode {
+    let len = rows.cols();
+    let k_exact = threshold + 1;
+    let k_probe = threshold / 2 + 1;
+    if len / k_exact >= MIN_BAND_BITS {
+        Mode::Banded(Bands::build(rows, k_exact, false))
+    } else if len / k_probe >= MIN_BAND_BITS {
+        // `len < MIN·(τ+1) ≤ 2·MIN·k_probe` here, so probe bands are
+        // < 2·MIN = 32 bits — they fit one word.
+        Mode::Banded(Bands::build(rows, k_probe, true))
+    } else {
+        Mode::Scan(PopFilter::build(rows))
+    }
+}
+
+/// Group players by bit-identical rows: hash-bucket candidates, confirm
+/// with exact word comparison so hash collisions cannot merge groups.
+fn group_players(rows: &BitMatrix) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let n = rows.rows();
+    let mut by_hash: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut group_of = Vec::with_capacity(n);
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    for p in 0..n {
+        let row = rows.row(p);
+        let ids = by_hash.entry(row.content_hash()).or_default();
+        let gid = ids
+            .iter()
+            .copied()
+            .find(|&g| rows.row(members[g as usize][0] as usize).bits_eq(&row))
+            .unwrap_or_else(|| {
+                let g = members.len() as u32;
+                members.push(Vec::new());
+                ids.push(g);
+                g
+            });
+        group_of.push(gid);
+        members[gid as usize].push(p as u32);
+    }
+    (group_of, members)
 }
 
 /// Band `j` of a `k`-band split covers bits `[j·len/k, (j+1)·len/k)`.
@@ -190,19 +377,41 @@ fn extract_bits(words: &[u64], start: usize, count: usize) -> u64 {
     v
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// One-chunk FNV-1a — [`band_key`] specialized to a `≤ 64`-bit band, the
+/// form multi-probe flips recompute per candidate key.
+#[inline]
+fn fnv_u64(v: u64) -> u64 {
+    (FNV_OFFSET ^ v).wrapping_mul(FNV_PRIME)
+}
+
 /// FNV-1a hash of the band's bits, in 64-bit chunks. Equal band contents
 /// always hash equal, so bucketing by hash key keeps the prune sound;
 /// hash collisions only add candidates, which verification discards.
 fn band_key(words: &[u64], start: usize, end: usize) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h: u64 = FNV_OFFSET;
     let mut pos = start;
     while pos < end {
         let take = (end - pos).min(64);
         h ^= extract_bits(words, pos, take);
-        h = h.wrapping_mul(0x1000_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
         pos += take;
     }
     h
+}
+
+/// Set bits in `words[start..end)` (bit positions).
+fn popcount_range(words: &[u64], start: usize, end: usize) -> usize {
+    let mut count = 0usize;
+    let mut pos = start;
+    while pos < end {
+        let take = (end - pos).min(64);
+        count += extract_bits(words, pos, take).count_ones() as usize;
+        pos += take;
+    }
+    count
 }
 
 /// Neighbor discovery over sample vectors: the Lemma-8 edge set
@@ -224,20 +433,42 @@ impl NeighborIndex {
         let mode = if threshold >= len {
             Mode::Complete
         } else {
-            let exact = match strategy {
-                NeighborStrategy::Exact => true,
-                NeighborStrategy::Banded => false,
-                NeighborStrategy::Auto => n <= AUTO_EXACT_MAX,
-            };
-            if exact {
-                Mode::Materialized(materialize(&rows, threshold))
-            } else {
-                let k = threshold + 1;
-                if len / k >= MIN_BAND_BITS {
-                    Mode::Banded(Bands::build(&rows, k))
-                } else {
-                    Mode::Scan
+            match strategy {
+                NeighborStrategy::Exact => Mode::Materialized(materialize(&rows, threshold)),
+                NeighborStrategy::Auto if n <= AUTO_EXACT_MAX => {
+                    Mode::Materialized(materialize(&rows, threshold))
                 }
+                NeighborStrategy::Auto | NeighborStrategy::Grouped => {
+                    let (group_of, members) = group_players(&rows);
+                    // Weak collapse (G ≈ n) means grouping buys almost no
+                    // pruning but would pay a duplicated representative
+                    // matrix and per-query indirection — band the players
+                    // directly instead, exactly as `Banded` would.
+                    if members.len() * 8 > n * 7 {
+                        banded_mode(&rows, threshold)
+                    } else {
+                        let reps: Vec<BitVec> = members
+                            .iter()
+                            .map(|m| rows.row(m[0] as usize).to_bitvec())
+                            .collect();
+                        // Groups are pairwise distinct, so re-grouping
+                        // cannot help: the inner index picks exact or
+                        // banded by size.
+                        let inner_strategy = if reps.len() <= AUTO_EXACT_MAX {
+                            NeighborStrategy::Exact
+                        } else {
+                            NeighborStrategy::Banded
+                        };
+                        let inner =
+                            Box::new(NeighborIndex::build(&reps, threshold, inner_strategy));
+                        Mode::Grouped(Groups {
+                            group_of,
+                            members,
+                            inner,
+                        })
+                    }
+                }
+                NeighborStrategy::Banded => banded_mode(&rows, threshold),
             }
         };
         NeighborIndex {
@@ -258,13 +489,16 @@ impl NeighborIndex {
     }
 
     /// Which internal path discovery takes (`"complete"`, `"exact"`,
-    /// `"banded"`, or `"scan"`) — for logs and bench labels.
+    /// `"banded"`, `"multiprobe"`, `"scan"`, or `"grouped"`) — for logs and
+    /// bench labels.
     pub fn mode_name(&self) -> &'static str {
         match &self.mode {
             Mode::Complete => "complete",
             Mode::Materialized(_) => "exact",
+            Mode::Banded(bands) if bands.probe => "multiprobe",
             Mode::Banded(_) => "banded",
-            Mode::Scan => "scan",
+            Mode::Scan(_) => "scan",
+            Mode::Grouped(_) => "grouped",
         }
     }
 
@@ -276,27 +510,89 @@ impl NeighborIndex {
             .is_some()
     }
 
-    /// All neighbors of `p`, ascending — identical across strategies.
-    pub fn neighbors_of(&self, p: usize) -> Vec<u32> {
+    /// [`NeighborIndex::verify`] behind the popcount prefilter when the
+    /// index runs in scan mode (a rejected pair is a proven non-edge).
+    #[inline]
+    fn verify_filtered(&self, p: usize, q: usize) -> bool {
+        if let Mode::Scan(filter) = &self.mode {
+            if !filter.admits(p, q, self.threshold) {
+                return false;
+            }
+        }
+        self.verify(p, q)
+    }
+
+    /// Enumerate the verified neighbors of `p`, each exactly once, in
+    /// unspecified order — the lazy primitive every query shares.
+    fn for_each_neighbor(&self, p: usize, mut f: impl FnMut(usize)) {
+        self.for_each_neighbor_dyn(p, &mut f);
+    }
+
+    /// Non-generic core of [`NeighborIndex::for_each_neighbor`]: the
+    /// grouped mode recurses into its inner index, and dynamic dispatch
+    /// keeps that recursion from instantiating closure types without
+    /// bound.
+    fn for_each_neighbor_dyn(&self, p: usize, f: &mut dyn FnMut(usize)) {
         let n = self.n();
         match &self.mode {
-            Mode::Complete => (0..n as u32).filter(|&q| q != p as u32).collect(),
-            Mode::Materialized(adj) => adj[p].clone(),
-            Mode::Banded(bands) => {
-                let mut out = Vec::new();
-                bands.for_candidates(&bands.buckets, p, |q| {
-                    if self.verify(p, q) {
-                        out.push(q as u32);
+            Mode::Complete => {
+                for q in (0..n).filter(|&q| q != p) {
+                    f(q);
+                }
+            }
+            Mode::Materialized(adj) => {
+                for &q in &adj[p] {
+                    f(q as usize);
+                }
+            }
+            Mode::Banded(bands) => bands.for_candidates(&bands.buckets, p, |q| {
+                if self.verify(p, q) {
+                    f(q);
+                }
+            }),
+            Mode::Scan(filter) => {
+                for q in 0..n {
+                    if q != p && filter.admits(p, q, self.threshold) && self.verify(p, q) {
+                        f(q);
+                    }
+                }
+            }
+            Mode::Grouped(groups) => {
+                let g = groups.group_of[p] as usize;
+                for &q in &groups.members[g] {
+                    if q as usize != p {
+                        f(q as usize);
+                    }
+                }
+                groups.inner.for_each_neighbor_dyn(g, &mut |h| {
+                    for &q in &groups.members[h] {
+                        f(q as usize);
                     }
                 });
-                out.sort_unstable();
-                out
             }
-            Mode::Scan => (0..n)
-                .filter(|&q| q != p && self.verify(p, q))
-                .map(|q| q as u32)
-                .collect(),
         }
+    }
+
+    /// All neighbors of `p`, ascending — identical across strategies.
+    pub fn neighbors_of(&self, p: usize) -> Vec<u32> {
+        if let Mode::Materialized(adj) = &self.mode {
+            return adj[p].clone();
+        }
+        let mut out = Vec::new();
+        self.for_each_neighbor(p, |q| out.push(q as u32));
+        out.sort_unstable();
+        out
+    }
+
+    /// Per-group degree: every member of a group has the same neighbor
+    /// count (`|group| − 1` mates plus each adjacent group's multiplicity).
+    fn group_degrees(&self, groups: &Groups) -> Vec<usize> {
+        let sizes: Vec<usize> = groups.members.iter().map(Vec::len).collect();
+        par_map_players(groups.members.len(), |g| {
+            let mut deg = sizes[g] - 1;
+            groups.inner.for_each_neighbor(g, |h| deg += sizes[h]);
+            deg
+        })
     }
 
     /// Degree of every player (neighbor counts), in parallel.
@@ -305,17 +601,14 @@ impl NeighborIndex {
         match &self.mode {
             Mode::Complete => vec![n.saturating_sub(1); n],
             Mode::Materialized(adj) => adj.iter().map(Vec::len).collect(),
-            Mode::Banded(bands) => par_map_players(n, |p| {
+            Mode::Grouped(groups) => {
+                let gdeg = self.group_degrees(groups);
+                (0..n).map(|p| gdeg[groups.group_of[p] as usize]).collect()
+            }
+            _ => par_map_players(n, |p| {
                 let mut deg = 0usize;
-                bands.for_candidates(&bands.buckets, p, |q| {
-                    if self.verify(p, q) {
-                        deg += 1;
-                    }
-                });
+                self.for_each_neighbor(p, |_| deg += 1);
                 deg
-            }),
-            Mode::Scan => par_map_players(n, |p| {
-                (0..n).filter(|&q| q != p && self.verify(p, q)).count()
             }),
         }
     }
@@ -357,6 +650,9 @@ impl NeighborIndex {
     pub fn peel(&self, min_size: usize) -> Clustering {
         let n = self.n();
         assert!(n > 0, "cannot cluster zero players");
+        if let Mode::Grouped(groups) = &self.mode {
+            return self.peel_grouped(groups, min_size);
+        }
         let need = min_size.saturating_sub(1);
 
         let mut alive = vec![true; n];
@@ -400,7 +696,7 @@ impl NeighborIndex {
                 _ => members.extend(
                     (0..n as u32)
                         .filter(|&q| q != seed as u32 && alive[q as usize])
-                        .filter(|&q| self.verify(seed, q as usize)),
+                        .filter(|&q| self.verify_filtered(seed, q as usize)),
                 ),
             }
             members.sort_unstable();
@@ -456,7 +752,7 @@ impl NeighborIndex {
                         }
                         members
                             .iter()
-                            .filter(|&&m| self.verify(q, m as usize))
+                            .filter(|&&m| self.verify_filtered(q, m as usize))
                             .count()
                     });
                     for (q, d) in dropped.into_iter().enumerate() {
@@ -507,29 +803,118 @@ impl NeighborIndex {
     /// assigned (phase-2 attachment rule). Uses pristine (uncompacted)
     /// adjacency: peeled neighbors count.
     fn assigned_neighbor_min(&self, p: usize, assignment: &[Option<u32>]) -> Option<u32> {
-        match &self.mode {
-            Mode::Complete => assignment
-                .iter()
-                .enumerate()
-                .filter(|&(q, _)| q != p)
-                .filter_map(|(_, a)| *a)
-                .min(),
-            Mode::Materialized(adj) => adj[p].iter().filter_map(|&q| assignment[q as usize]).min(),
-            Mode::Banded(bands) => {
-                let mut best: Option<u32> = None;
-                bands.for_candidates(&bands.buckets, p, |q| {
-                    if let Some(a) = assignment[q] {
-                        if self.verify(p, q) {
-                            best = Some(best.map_or(a, |b| b.min(a)));
-                        }
-                    }
-                });
-                best
+        let mut best: Option<u32> = None;
+        self.for_each_neighbor(p, |q| {
+            if let Some(a) = assignment[q] {
+                best = Some(best.map_or(a, |b| b.min(a)));
             }
-            Mode::Scan => (0..self.n())
-                .filter(|&q| q != p)
-                .filter_map(|q| assignment[q].filter(|_| self.verify(p, q)))
-                .min(),
+        });
+        best
+    }
+
+    /// §6.5 peeling over the group graph — output identical to the
+    /// player-level reference (pinned by the proptests): groups live and
+    /// die wholesale (a seed's neighborhood is its whole group plus every
+    /// adjacent group), degrees stay uniform within a group, and phase-2
+    /// attachment answers neighbor queries through per-group minima.
+    fn peel_grouped(&self, groups: &Groups, min_size: usize) -> Clustering {
+        let n = self.n();
+        let g_n = groups.members.len();
+        let need = min_size.saturating_sub(1);
+        let sizes: Vec<usize> = groups.members.iter().map(Vec::len).collect();
+        let inner = &groups.inner;
+
+        let mut gdeg = self.group_degrees(groups);
+        let mut alive = vec![true; g_n];
+        let mut alive_left = g_n;
+        let mut assignment: Vec<Option<u32>> = vec![None; n];
+        let mut clusters: Vec<Vec<u32>> = Vec::new();
+        // Lowest cluster id among each group's already-assigned members —
+        // phase 2's neighbor queries reduce to minima over these.
+        let mut g_min_assigned: Vec<Option<u32>> = vec![None; g_n];
+
+        // Phase 1. The player-level rule "max (degree, Reverse(index))"
+        // factors: all members of a group share its degree, so the winning
+        // player is the smallest member of the best (degree, Reverse(rep))
+        // group, and its neighborhood is exactly {seed's group} ∪ adjacent
+        // alive groups — peels are group-closed.
+        loop {
+            let seed = (0..g_n)
+                .filter(|&g| alive[g] && gdeg[g] >= need)
+                .max_by_key(|&g| (gdeg[g], std::cmp::Reverse(groups.members[g][0])));
+            let Some(seed) = seed else { break };
+            let mut peeled: Vec<u32> = vec![seed as u32];
+            inner.for_each_neighbor(seed, |h| {
+                if alive[h] {
+                    peeled.push(h as u32);
+                }
+            });
+            let id = clusters.len() as u32;
+            let mut cluster_members: Vec<u32> = Vec::new();
+            for &g in &peeled {
+                alive[g as usize] = false;
+                alive_left -= 1;
+                g_min_assigned[g as usize] = Some(id);
+                for &p in &groups.members[g as usize] {
+                    assignment[p as usize] = Some(id);
+                    cluster_members.push(p);
+                }
+            }
+            cluster_members.sort_unstable();
+            // Residual degrees: every alive group adjacent to a peeled
+            // group loses that group's full multiplicity.
+            if alive_left > 0 {
+                for &g in &peeled {
+                    inner.for_each_neighbor(g as usize, |h| {
+                        if alive[h] {
+                            gdeg[h] = gdeg[h].saturating_sub(sizes[g as usize]);
+                        }
+                    });
+                }
+            }
+            clusters.push(cluster_members);
+        }
+
+        // Phase 2: leftovers attach in player-index order, exactly as the
+        // reference — a leftover's assigned neighbors are the assigned
+        // members of its own group plus those of adjacent groups.
+        #[allow(clippy::needless_range_loop)] // assignment[p] is also written
+        for p in 0..n {
+            if assignment[p].is_some() {
+                continue;
+            }
+            let g = groups.group_of[p] as usize;
+            let mut best = g_min_assigned[g];
+            inner.for_each_neighbor(g, |h| {
+                if let Some(a) = g_min_assigned[h] {
+                    best = Some(best.map_or(a, |b| b.min(a)));
+                }
+            });
+            let id = best.unwrap_or_else(|| {
+                if clusters.is_empty() {
+                    clusters.push(Vec::new());
+                }
+                (0..clusters.len() as u32)
+                    .min_by_key(|&c| {
+                        clusters[c as usize].first().map_or(usize::MAX, |&m| {
+                            self.rows.row(p).hamming(&self.rows.row(m as usize))
+                        })
+                    })
+                    .expect("at least one cluster exists")
+            });
+            assignment[p] = Some(id);
+            g_min_assigned[g] = Some(g_min_assigned[g].map_or(id, |b| b.min(id)));
+            let members = &mut clusters[id as usize];
+            let pos = members.partition_point(|&m| m < p as u32);
+            members.insert(pos, p as u32);
+        }
+
+        Clustering {
+            assignment: assignment
+                .into_iter()
+                .map(|a| a.expect("assigned"))
+                .collect(),
+            clusters,
         }
     }
 }
@@ -772,32 +1157,76 @@ mod tests {
         assert_eq!(c.cluster_of(0), &[0]);
     }
 
-    /// The three lazy modes (complete / banded / scan) against the
-    /// materialized exact path, on structured and random inputs.
+    /// The lazy modes (complete / banded / multiprobe / scan / grouped)
+    /// against the materialized exact path, on structured and random
+    /// inputs.
     #[test]
     fn banded_modes_match_exact() {
         let mut rng = SmallRng::seed_from_u64(6);
         let cases: Vec<(Vec<BitVec>, usize)> = vec![
-            (two_camps(256, 10, 7), 4), // banded (wide bands)
-            (two_camps(64, 6, 8), 12),  // scan (bands too narrow)
-            (two_camps(32, 5, 9), 40),  // complete (τ ≥ len)
+            (two_camps(256, 10, 7), 4),   // banded (wide bands)
+            (two_camps(256, 10, 10), 24), // multiprobe (mid-τ)
+            (two_camps(64, 6, 8), 12),    // scan (bands too narrow)
+            (two_camps(32, 5, 9), 40),    // complete (τ ≥ len)
             ((0..14).map(|_| BitVec::random(&mut rng, 96)).collect(), 3),
         ];
         for (zs, threshold) in cases {
             let exact = NeighborIndex::build(&zs, threshold, NeighborStrategy::Exact);
-            let banded = NeighborIndex::build(&zs, threshold, NeighborStrategy::Banded);
-            assert_eq!(
-                exact.adjacency(),
-                banded.adjacency(),
-                "edge sets diverge at τ={threshold} (mode {})",
-                banded.mode_name()
-            );
-            assert_eq!(exact.degrees(), banded.degrees());
-            for min_size in [1usize, 3, 8] {
-                let reference = peel_clusters(&zs, &exact.adjacency(), min_size);
-                assert_eq!(exact.peel(min_size), reference);
-                assert_eq!(banded.peel(min_size), reference);
+            for strategy in [NeighborStrategy::Banded, NeighborStrategy::Grouped] {
+                let lazy = NeighborIndex::build(&zs, threshold, strategy);
+                assert_eq!(
+                    exact.adjacency(),
+                    lazy.adjacency(),
+                    "edge sets diverge at τ={threshold} (mode {})",
+                    lazy.mode_name()
+                );
+                assert_eq!(exact.degrees(), lazy.degrees());
+                for min_size in [1usize, 3, 8] {
+                    let reference = peel_clusters(&zs, &exact.adjacency(), min_size);
+                    assert_eq!(exact.peel(min_size), reference);
+                    assert_eq!(lazy.peel(min_size), reference, "mode {}", lazy.mode_name());
+                }
             }
+        }
+    }
+
+    #[test]
+    fn multiprobe_triggers_and_is_sound() {
+        // len=256, τ=24: 25 exact-match bands would be 10 bits (< 16), but
+        // ⌊τ/2⌋+1 = 13 multiprobe bands are 19 bits — the mid-τ regime
+        // that used to fall to the blocked scan.
+        let zs = two_camps(256, 12, 11);
+        let idx = NeighborIndex::build(&zs, 24, NeighborStrategy::Banded);
+        assert_eq!(idx.mode_name(), "multiprobe");
+        let exact = NeighborIndex::build(&zs, 24, NeighborStrategy::Exact);
+        assert_eq!(idx.adjacency(), exact.adjacency());
+    }
+
+    #[test]
+    fn scan_mode_carries_popcount_prefilter() {
+        // len=64, τ=12: neither 13 exact bands (4 bits) nor 7 probe bands
+        // (9 bits) reach MIN_BAND_BITS — the prefiltered scan regime.
+        let zs = two_camps(64, 6, 12);
+        let idx = NeighborIndex::build(&zs, 12, NeighborStrategy::Banded);
+        assert_eq!(idx.mode_name(), "scan");
+        let exact = NeighborIndex::build(&zs, 12, NeighborStrategy::Exact);
+        assert_eq!(idx.adjacency(), exact.adjacency());
+        assert_eq!(idx.peel(6), exact.peel(6));
+    }
+
+    #[test]
+    fn grouped_collapses_duplicates() {
+        // Heavy duplication: 40 players over 5 distinct vectors.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let distinct: Vec<BitVec> = (0..5).map(|_| BitVec::random(&mut rng, 128)).collect();
+        let zs: Vec<BitVec> = (0..40).map(|i| distinct[i % 5].clone()).collect();
+        let grouped = NeighborIndex::build(&zs, 8, NeighborStrategy::Grouped);
+        assert_eq!(grouped.mode_name(), "grouped");
+        let exact = NeighborIndex::build(&zs, 8, NeighborStrategy::Exact);
+        assert_eq!(grouped.adjacency(), exact.adjacency());
+        assert_eq!(grouped.degrees(), exact.degrees());
+        for min_size in [1usize, 4, 8, 16] {
+            assert_eq!(grouped.peel(min_size), exact.peel(min_size));
         }
     }
 
@@ -806,7 +1235,11 @@ mod tests {
         // Sabotaged leaders publish empty samples: every z-vector is empty,
         // all pairs are within any threshold, one big cluster results.
         let zs = vec![BitVec::zeros(0); 9];
-        for strategy in [NeighborStrategy::Exact, NeighborStrategy::Banded] {
+        for strategy in [
+            NeighborStrategy::Exact,
+            NeighborStrategy::Banded,
+            NeighborStrategy::Grouped,
+        ] {
             let idx = NeighborIndex::build(&zs, 0, strategy);
             assert_eq!(idx.mode_name(), "complete");
             let c = idx.peel(3);

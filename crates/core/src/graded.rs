@@ -182,7 +182,7 @@ pub fn score_graded(
         })
         .collect();
 
-    let out_planes: Vec<BitMatrix> = outcomes.iter().map(|o| o.output.clone()).collect();
+    let out_planes: Vec<BitMatrix> = outcomes.iter().map(|o| o.output().clone()).collect();
     let predicted = GradeMatrix::from_planes(&out_planes);
 
     let mut max_l1 = 0u64;

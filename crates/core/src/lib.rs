@@ -81,4 +81,4 @@ pub use cluster::{NeighborIndex, NeighborStrategy};
 pub use params::ProtocolParams;
 pub use protocol::calculate_preferences;
 pub use robust::robust_calculate_preferences;
-pub use runner::{Algorithm, Outcome, Session, SessionBuilder, SweepPoint};
+pub use runner::{Algorithm, Outcome, OutputSink, Session, SessionBuilder, SweepPoint};

@@ -57,13 +57,31 @@ impl Algorithm {
     }
 }
 
+/// How [`Session::run`] disposes of the per-player output rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputSink {
+    /// Materialize [`Outcome::output`] as the dense `n × m` matrix — the
+    /// default; every baseline table and equivalence test runs on it.
+    #[default]
+    Dense,
+    /// Stream each output row straight into the per-player error
+    /// accumulation and drop it; `Outcome::output` stays `None`. At
+    /// `n = 10⁵`, `m = 1024` the dense matrix is 12.8 MB per outcome, and
+    /// `@scale` sweeps hold several outcomes at once — the output matrix,
+    /// not the truth, is the memory ceiling there. Error statistics are
+    /// bit-identical to the dense sink (same rows, same fold order).
+    ErrorStream,
+}
+
 /// Everything measured from one protocol execution.
 #[derive(Clone, Debug)]
 pub struct Outcome {
     /// Algorithm name.
     pub algorithm: String,
-    /// Per-player output matrix `w`.
-    pub output: BitMatrix,
+    /// Per-player output matrix `w` — `Some` under [`OutputSink::Dense`]
+    /// (the default), `None` when the run streamed rows into the error
+    /// accumulation instead ([`OutputSink::ErrorStream`]).
+    pub output: Option<BitMatrix>,
     /// Error report over **honest** players (the paper's guarantee).
     pub errors: ErrorReport,
     /// Final probe counts per player.
@@ -85,6 +103,16 @@ pub struct Outcome {
     pub repetitions: Vec<RepetitionLog>,
     /// Number of dishonest players in the run.
     pub dishonest_count: usize,
+}
+
+impl Outcome {
+    /// The dense output matrix. Panics under [`OutputSink::ErrorStream`];
+    /// consumers that inspect raw output rows require the default sink.
+    pub fn output(&self) -> &BitMatrix {
+        self.output
+            .as_ref()
+            .expect("Outcome::output requires OutputSink::Dense")
+    }
 }
 
 /// One point of a sweep: which algorithm to run under which master seed.
@@ -150,6 +178,7 @@ pub struct Session {
     corruption: Corruption,
     strategy: Arc<dyn Strategy>,
     election_adversary: Arc<dyn BinStrategy>,
+    sink: OutputSink,
 }
 
 impl Session {
@@ -162,6 +191,7 @@ impl Session {
             corruption: Corruption::None,
             strategy: None,
             election_adversary: None,
+            sink: OutputSink::Dense,
         }
     }
 
@@ -233,14 +263,33 @@ impl Session {
         };
         let elapsed = start.elapsed();
 
-        let output = BitMatrix::from_rows(&rows);
         let honest_mask = behaviors.honest_mask();
-        let errors = ErrorReport::from_errors(
-            (0..n)
-                .filter(|&p| honest_mask[p])
-                .map(|p| output.row(p).hamming(&self.truth.row(p as u32)))
-                .collect(),
-        );
+        let (output, errors) = match self.sink {
+            OutputSink::Dense => {
+                let output = BitMatrix::from_rows(&rows);
+                let errors = ErrorReport::from_errors(
+                    (0..n)
+                        .filter(|&p| honest_mask[p])
+                        .map(|p| output.row(p).hamming(&self.truth.row(p as u32)))
+                        .collect(),
+                );
+                (Some(output), errors)
+            }
+            OutputSink::ErrorStream => {
+                // Same rows, same honest-player order as the dense arm —
+                // only the matrix materialization is gone; each row's
+                // storage is released as soon as its error is folded in.
+                let truth = &self.truth;
+                let errors = ErrorReport::from_errors(
+                    rows.into_iter()
+                        .enumerate()
+                        .filter(|(p, _)| honest_mask[*p])
+                        .map(|(p, row)| row.hamming(&truth.row(p as u32)))
+                        .collect(),
+                );
+                (None, errors)
+            }
+        };
         let probes = oracle.snapshot();
         let max_honest_probes = probes.max_where(&honest_mask);
 
@@ -280,6 +329,7 @@ pub struct SessionBuilder {
     corruption: Corruption,
     strategy: Option<Arc<dyn Strategy>>,
     election_adversary: Option<Arc<dyn BinStrategy>>,
+    sink: OutputSink,
 }
 
 impl SessionBuilder {
@@ -361,6 +411,14 @@ impl SessionBuilder {
         self
     }
 
+    /// How runs dispose of output rows (default [`OutputSink::Dense`]).
+    /// `@scale` sweeps pass [`OutputSink::ErrorStream`] to keep error
+    /// statistics without holding `n × m` output matrices.
+    pub fn output_sink(mut self, sink: OutputSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
     /// Finish. Panics if no truth source was supplied.
     pub fn build(self) -> Session {
         let truth = self
@@ -379,6 +437,7 @@ impl SessionBuilder {
             election_adversary: self
                 .election_adversary
                 .unwrap_or_else(|| Arc::new(GreedyInfiltrate) as Arc<dyn BinStrategy>),
+            sink: self.sink,
         }
     }
 }
@@ -420,7 +479,7 @@ mod tests {
     fn runner_measures_everything() {
         let outcome = session().run(Algorithm::CalculatePreferences, 1);
         assert_eq!(outcome.algorithm, "calculate-preferences");
-        assert_eq!(outcome.output.rows(), 64);
+        assert_eq!(outcome.output().rows(), 64);
         assert!(outcome.errors.max <= 16, "error {}", outcome.errors.max);
         assert!(outcome.max_honest_probes > 0);
         assert!(outcome.board.claim_posts > 0);
@@ -461,7 +520,7 @@ mod tests {
             Algorithm::DirectSmallRadius(8),
         ] {
             let out = sys.run(alg, 2);
-            assert_eq!(out.output.rows(), 64, "{}", alg.name());
+            assert_eq!(out.output().rows(), 64, "{}", alg.name());
         }
     }
 

@@ -18,7 +18,7 @@ use byzscore_bitset::{BitMatrix, Bits};
 
 /// Per-player error summary: Hamming distance between protocol output `w(p)`
 /// and truth `v(p)` (paper §3, "rate of error").
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ErrorReport {
     /// `|w(p) − v(p)|` for every evaluated player.
     pub per_player: Vec<usize>,

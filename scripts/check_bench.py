@@ -2,7 +2,7 @@
 """Compare a byzscore-bench JSON artifact against the committed baseline.
 
 Usage:
-  check_bench.py BASELINE.json CURRENT.json [--tol COLUMN=REL ...]
+  check_bench.py BASELINE.json CURRENT.json [--tol COLUMN=REL ...] [--timing-report]
   check_bench.py --self-test
 
 Every experiment run is a pure function of its seeds (the determinism test
@@ -20,6 +20,13 @@ COLUMN_TOLERANCES below (matched as a case-insensitive substring of the
 header) or on the command line with --tol 'mean err=0.05'. On failure the
 mismatching tables are also rendered as a unified diff so the drift is
 readable at a glance.
+
+--timing-report additionally prints a per-experiment wall-clock comparison
+(baseline `seconds` vs current, with the ratio) and flags experiments that
+moved beyond a generous tolerance (TIMING_FLAG_RATIO). It is report-only:
+timing never gates — wall-clock is host- and contention-dependent — but
+the committed BENCH_*.json artifacts carry `seconds`, so the report turns
+them into a perf trajectory across commits.
 """
 
 import difflib
@@ -38,6 +45,16 @@ REL_TOL = 1e-6
 COLUMN_TOLERANCES: list[tuple[str, float]] = []
 
 TIMING_MARKERS = ("elapsed", " ms", "seconds")
+
+# --timing-report flags experiments whose wall-clock moved by more than
+# this factor in either direction. Deliberately generous: it is a
+# trajectory report, not a gate.
+TIMING_FLAG_RATIO = 1.5
+
+# Below this many seconds on both sides an experiment is scheduling noise:
+# its ratio is printed but never flagged (and a zero baseline cannot
+# produce an inf ratio that flags forever).
+TIMING_NOISE_FLOOR_S = 0.1
 
 
 def is_timing(header: str) -> bool:
@@ -142,9 +159,45 @@ def compare_docs(baseline, current, overrides=()):
     return failures, diff_lines, notes
 
 
+def timing_report(baseline, current):
+    """Per-experiment seconds comparison as printable lines (report-only)."""
+    base_secs = {e["id"]: e.get("seconds") for e in baseline["experiments"]}
+    cur_secs = {e["id"]: e.get("seconds") for e in current["experiments"]}
+    lines = ["timing report (informational — wall-clock never gates):"]
+    lines.append(f"  {'id':<6} {'baseline s':>11} {'current s':>11} {'ratio':>7}")
+    base_total = cur_total = 0.0
+    for exp_id in (e["id"] for e in baseline["experiments"]):
+        b, c = base_secs.get(exp_id), cur_secs.get(exp_id)
+        if b is None or c is None:
+            lines.append(f"  {exp_id:<6} {'?':>11} {'?':>11}       - (missing)")
+            continue
+        base_total += b
+        cur_total += c
+        if b <= 0:
+            lines.append(f"  {exp_id:<6} {b:>11.3f} {c:>11.3f}       -")
+            continue
+        ratio = c / b
+        flag = ""
+        if max(b, c) >= TIMING_NOISE_FLOOR_S:
+            if ratio > TIMING_FLAG_RATIO:
+                flag = f"  SLOWER (>{TIMING_FLAG_RATIO}x)"
+            elif ratio < 1.0 / TIMING_FLAG_RATIO:
+                flag = f"  faster (<1/{TIMING_FLAG_RATIO}x)"
+        lines.append(f"  {exp_id:<6} {b:>11.3f} {c:>11.3f} {ratio:>6.2f}x{flag}")
+    for exp_id in sorted(set(cur_secs) - set(base_secs)):
+        lines.append(f"  {exp_id:<6} (not in baseline) current {cur_secs[exp_id]:.3f}s")
+    if base_total > 0:
+        lines.append(
+            f"  {'total':<6} {base_total:>11.3f} {cur_total:>11.3f} "
+            f"{cur_total / base_total:>6.2f}x"
+        )
+    return lines
+
+
 def parse_args(argv):
     paths = []
     overrides = []
+    want_timing = False
     it = iter(argv)
     for arg in it:
         if arg == "--tol":
@@ -153,15 +206,17 @@ def parse_args(argv):
                 sys.exit("--tol expects COLUMN=REL_TOL (e.g. --tol 'mean err=0.05')")
             col, _, tol = spec.partition("=")
             overrides.append((col.strip().lower(), float(tol)))
+        elif arg == "--timing-report":
+            want_timing = True
         else:
             paths.append(arg)
     if len(paths) != 2:
         sys.exit(__doc__)
-    return paths, overrides
+    return paths, overrides, want_timing
 
 
 def main():
-    (base_path, cur_path), overrides = parse_args(sys.argv[1:])
+    (base_path, cur_path), overrides, want_timing = parse_args(sys.argv[1:])
     with open(base_path) as f:
         baseline = json.load(f)
     with open(cur_path) as f:
@@ -170,6 +225,12 @@ def main():
     failures, diff_lines, notes = compare_docs(baseline, current, overrides)
     for note in notes:
         print(note)
+
+    # Print the (never-gating) timing trajectory before any failure exit so
+    # CI artifacts carry it either way.
+    if want_timing:
+        for line in timing_report(baseline, current):
+            print(line)
 
     if failures:
         print(f"BENCH REGRESSION: {len(failures)} mismatch(es)")
@@ -256,7 +317,34 @@ def self_test():
     fails, _, notes = compare_docs(base, extra)
     assert not fails and len(notes) == 1, (fails, notes)
 
-    print("check_bench self-test OK (9 scenarios)")
+    # Timing report: report-only lines, flags big moves both ways, totals.
+    def timed(seconds_by_id):
+        return {
+            "experiments": [
+                {"id": i, "seconds": s, "tables": []} for i, s in seconds_by_id.items()
+            ]
+        }
+
+    report = timing_report(
+        timed({"e01": 1.0, "e13": 400.0}), timed({"e01": 1.1, "e13": 60.0})
+    )
+    text = "\n".join(report)
+    assert "never gates" in text, text
+    assert "faster" in text and "e13" in text, text
+    assert "SLOWER" not in text, text
+    report = timing_report(timed({"e01": 1.0}), timed({"e01": 9.0}))
+    assert any("SLOWER" in line for line in report), report
+    report = timing_report(timed({"e01": 1.0}), timed({"e02": 1.0}))
+    assert any("missing" in line for line in report), report
+    assert any("not in baseline" in line for line in report), report
+    # Sub-noise-floor experiments and zero baselines never flag.
+    report = timing_report(
+        timed({"e04": 0.002, "e05": 0.0}), timed({"e04": 0.03, "e05": 0.01})
+    )
+    assert not any("SLOWER" in line for line in report), report
+    assert not any("infx" in line for line in report), report
+
+    print("check_bench self-test OK (11 scenarios)")
 
 
 if __name__ == "__main__":

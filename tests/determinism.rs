@@ -289,6 +289,91 @@ fn banded_clustering_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn error_stream_sink_matches_dense_sink() {
+    // The streaming sink drops output rows after folding their errors; all
+    // error statistics, probe counts, and board accounting must be
+    // bit-identical to the dense default — only `Outcome::output` differs
+    // (None vs the materialized matrix). Checked on both substrates.
+    use byzscore::{ClusterSpec, OutputSink};
+
+    let inst = world(12);
+    let algorithms = [
+        Algorithm::CalculatePreferences,
+        Algorithm::NaiveSampling,
+        Algorithm::Solo,
+        Algorithm::GlobalMajority,
+        Algorithm::Robust,
+    ];
+    let dense_sys = Session::builder()
+        .instance(&inst)
+        .budget(4)
+        .adversary(Corruption::Count { count: 8 }, Inverter)
+        .build();
+    let stream_sys = Session::builder()
+        .instance(&inst)
+        .budget(4)
+        .adversary(Corruption::Count { count: 8 }, Inverter)
+        .output_sink(OutputSink::ErrorStream)
+        .build();
+    for alg in algorithms {
+        let dense = dense_sys.run(alg, 71);
+        let streamed = stream_sys.run(alg, 71);
+        assert!(
+            dense.output.is_some(),
+            "{}: dense sink lost output",
+            alg.name()
+        );
+        assert!(
+            streamed.output.is_none(),
+            "{}: stream sink materialized output",
+            alg.name()
+        );
+        assert_eq!(
+            streamed.errors,
+            dense.errors,
+            "{} errors differ",
+            alg.name()
+        );
+        assert_eq!(
+            streamed.probes.counts(),
+            dense.probes.counts(),
+            "{} probe ledger differs",
+            alg.name()
+        );
+        assert_eq!(
+            streamed.board,
+            dense.board,
+            "{} board stats differ",
+            alg.name()
+        );
+        assert_eq!(streamed.max_honest_probes, dense.max_honest_probes);
+        assert_eq!(streamed.dishonest_count, dense.dishonest_count);
+    }
+
+    // Procedural substrate (the @scale pairing that motivates the sink).
+    let spec = ClusterSpec {
+        players: 96,
+        objects: 128,
+        clusters: 4,
+        diameter: 6,
+        seed: 0x51_4e_4b,
+    };
+    let dense = Session::builder()
+        .procedural(spec.clone())
+        .budget(4)
+        .build()
+        .run(Algorithm::NaiveSampling, 72);
+    let streamed = Session::builder()
+        .procedural(spec)
+        .budget(4)
+        .output_sink(OutputSink::ErrorStream)
+        .build()
+        .run(Algorithm::NaiveSampling, 72);
+    assert_eq!(streamed.errors, dense.errors);
+    assert_eq!(streamed.probes.counts(), dense.probes.counts());
+}
+
+#[test]
 fn workload_generation_is_deterministic() {
     let a = world(6);
     let b = world(6);

@@ -83,7 +83,7 @@ fn uniform_random_world_defeats_everyone() {
         .params(ProtocolParams::with_budget(4))
         .build()
         .run(Algorithm::CalculatePreferences, 8);
-    assert_eq!(out.output.rows(), 64);
+    assert_eq!(out.output().rows(), 64);
     // Nobody can predict independent coin flips: expect ≈ m/2 errors for
     // the worst player, certainly > m/5.
     assert!(
@@ -129,7 +129,7 @@ fn more_objects_than_players_generalizes() {
         .params(ProtocolParams::with_budget(4))
         .build()
         .run(Algorithm::CalculatePreferences, 12);
-    assert_eq!(out.output.cols(), 512);
+    assert_eq!(out.output().cols(), 512);
     assert!(out.errors.max <= 6 * 6, "error {}", out.errors.max);
 }
 
@@ -177,7 +177,7 @@ fn paper_faithful_preset_runs() {
         .params(ProtocolParams::paper_faithful(2))
         .build()
         .run(Algorithm::CalculatePreferences, 16);
-    assert_eq!(out.output.rows(), 48);
+    assert_eq!(out.output().rows(), 48);
     // At n=48 the 220·ln n threshold exceeds the object count, so the
     // graph is complete and the output degenerates to a 2-class majority —
     // totality, not accuracy, is the contract at toy scale (DESIGN.md §4).

@@ -1,9 +1,11 @@
-//! `NeighborIndex` equivalence: the banded (sound LSH prune, lazy peel)
-//! strategy must produce the *identical* Lemma-8 edge set and the
-//! identical `Clustering` as the materialized exact `O(n²)` pass, on
-//! structured and adversarially random inputs alike. This is the pinned
-//! contract that lets e13 run `NaiveSampling` at n=10⁵ without changing a
-//! single output bit.
+//! `NeighborIndex` equivalence: the lazy strategies — banded (sound LSH
+//! prune, with single-bit-flip multi-probing at mid-`τ` and a popcount
+//! prefilter in scan mode) and grouped (bit-identical vectors
+//! deduplicated, discovery over weighted group representatives) — must
+//! produce the *identical* Lemma-8 edge set and the identical `Clustering`
+//! as the materialized exact `O(n²)` pass, on structured and adversarially
+//! random inputs alike. This is the pinned contract that lets e13 run
+//! `NaiveSampling` at n=10⁵ without changing a single output bit.
 
 use byzscore::cluster::{
     cluster_players, neighbor_graph, peel_clusters, NeighborIndex, NeighborStrategy,
@@ -25,7 +27,9 @@ fn brute_adjacency(zvecs: &[BitVec], threshold: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Random mixture: some tight camps, some uniform noise players.
+/// Random mixture: some tight camps, some uniform noise players. Camp
+/// members repeat exact center copies often enough that grouped discovery
+/// sees real multi-member groups.
 fn mixed_zvecs(seed: u64, n: usize, len: usize, spread: usize) -> Vec<BitVec> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let camps = 1 + (seed as usize % 4);
@@ -44,51 +48,59 @@ fn mixed_zvecs(seed: u64, n: usize, len: usize, spread: usize) -> Vec<BitVec> {
         .collect()
 }
 
+const LAZY: [NeighborStrategy; 2] = [NeighborStrategy::Banded, NeighborStrategy::Grouped];
+
 proptest! {
     /// Edge sets are identical across strategies and match brute force,
-    /// across random sizes, lengths, and thresholds — covering all four
-    /// internal modes (exact / banded / scan / complete).
+    /// across random sizes, lengths, and thresholds — covering all
+    /// internal modes (exact / banded / multiprobe / scan / complete /
+    /// grouped).
     #[test]
-    fn banded_edge_set_equals_exact(seed in 0u64..60, n in 2usize..36, len in 1usize..300, t_raw in 0usize..330) {
+    fn lazy_edge_sets_equal_exact(seed in 0u64..60, n in 2usize..36, len in 1usize..300, t_raw in 0usize..330) {
         let spread = (len / 16).max(1);
         let zvecs = mixed_zvecs(seed, n, len, spread);
         let threshold = t_raw % (len + 2); // sometimes ≥ len ⇒ complete graph
         let exact = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Exact);
-        let banded = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Banded);
         let brute = brute_adjacency(&zvecs, threshold);
         prop_assert_eq!(&exact.adjacency(), &brute);
-        prop_assert_eq!(
-            &banded.adjacency(), &brute,
-            "banded ({}) edge set diverges at n={} len={} τ={}",
-            banded.mode_name(), n, len, threshold
-        );
-        prop_assert_eq!(exact.degrees(), banded.degrees());
+        for strategy in LAZY {
+            let lazy = NeighborIndex::build(&zvecs, threshold, strategy);
+            prop_assert_eq!(
+                &lazy.adjacency(), &brute,
+                "{} edge set diverges at n={} len={} τ={}",
+                lazy.mode_name(), n, len, threshold
+            );
+            prop_assert_eq!(exact.degrees(), lazy.degrees());
+        }
     }
 
     /// Clustering is identical across strategies and matches the original
     /// materialized `peel_clusters` reference, for every min_size regime.
     #[test]
-    fn banded_peel_equals_exact(seed in 100u64..150, n in 2usize..30, len in 8usize..220, t_raw in 0usize..240, min_size in 1usize..12) {
+    fn lazy_peels_equal_exact(seed in 100u64..150, n in 2usize..30, len in 8usize..220, t_raw in 0usize..240, min_size in 1usize..12) {
         let spread = (len / 16).max(1);
         let zvecs = mixed_zvecs(seed, n, len, spread);
         let threshold = t_raw % (len + 2);
         let exact = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Exact);
-        let banded = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Banded);
         let reference = peel_clusters(&zvecs, &neighbor_graph(&zvecs, threshold), min_size);
         let from_exact = exact.peel(min_size);
-        let from_banded = banded.peel(min_size);
         prop_assert_eq!(&from_exact.assignment, &reference.assignment);
         prop_assert_eq!(&from_exact.clusters, &reference.clusters);
-        prop_assert_eq!(
-            &from_banded.assignment, &reference.assignment,
-            "banded ({}) assignment diverges at n={} len={} τ={} min={}",
-            banded.mode_name(), n, len, threshold, min_size
-        );
-        prop_assert_eq!(&from_banded.clusters, &reference.clusters);
-        prop_assert!(from_banded.is_partition());
+        for strategy in LAZY {
+            let lazy = NeighborIndex::build(&zvecs, threshold, strategy);
+            let from_lazy = lazy.peel(min_size);
+            prop_assert_eq!(
+                &from_lazy.assignment, &reference.assignment,
+                "{} assignment diverges at n={} len={} τ={} min={}",
+                lazy.mode_name(), n, len, threshold, min_size
+            );
+            prop_assert_eq!(&from_lazy.clusters, &reference.clusters);
+            prop_assert!(from_lazy.is_partition());
+        }
     }
 
-    /// `cluster_players` (Auto) stays pinned to the reference path.
+    /// `cluster_players` (Auto, which picks grouped discovery past the
+    /// exact cutoff) stays pinned to the reference path.
     #[test]
     fn auto_strategy_matches_reference(seed in 200u64..230, n in 2usize..24, len in 4usize..160) {
         let zvecs = mixed_zvecs(seed, n, len, (len / 8).max(1));
@@ -98,6 +110,23 @@ proptest! {
         let auto = cluster_players(&zvecs, threshold, min_size);
         prop_assert_eq!(auto.assignment, reference.assignment);
         prop_assert_eq!(auto.clusters, reference.clusters);
+    }
+
+    /// Heavy duplication (few distinct vectors, many copies): the grouped
+    /// strategy's collapse regime, checked against brute force.
+    #[test]
+    fn grouped_heavy_duplication_equals_exact(seed in 300u64..330, distinct in 1usize..6, copies in 1usize..8, len in 16usize..120, t_raw in 0usize..130) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let base: Vec<BitVec> = (0..distinct).map(|_| BitVec::random(&mut rng, len)).collect();
+        let n = distinct * copies;
+        let zvecs: Vec<BitVec> = (0..n).map(|i| base[i % distinct].clone()).collect();
+        let threshold = t_raw % (len + 2);
+        let grouped = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Grouped);
+        let brute = brute_adjacency(&zvecs, threshold);
+        prop_assert_eq!(&grouped.adjacency(), &brute);
+        let min_size = (copies / 2).max(1);
+        let reference = peel_clusters(&zvecs, &brute, min_size);
+        prop_assert_eq!(grouped.peel(min_size), reference);
     }
 }
 
@@ -116,5 +145,102 @@ fn banded_bucket_mode_multi_peel() {
         let b = peel_clusters(&zvecs, &exact.adjacency(), min_size);
         assert_eq!(a.assignment, b.assignment, "min_size={min_size}");
         assert_eq!(a.clusters, b.clusters, "min_size={min_size}");
+    }
+}
+
+/// Deterministic mid-`τ` case that forces multi-probe bucketing (bands too
+/// narrow for exact matching, wide enough for single-bit-flip probes) with
+/// multiple peels, and the same world one regime further (scan + popcount
+/// prefilter).
+#[test]
+fn multiprobe_and_scan_modes_multi_peel() {
+    let zvecs = mixed_zvecs(9, 300, 640, 10);
+    // 640/(45+1) = 13 < 16 exact-match bands; 640/(22+1) = 27-bit probe
+    // bands ⇒ multiprobe.
+    let probe = NeighborIndex::build(&zvecs, 45, NeighborStrategy::Banded);
+    assert_eq!(probe.mode_name(), "multiprobe");
+    // 640/(160+1) = 3 and 640/(80+1) = 7 ⇒ both too narrow ⇒ scan.
+    let scan = NeighborIndex::build(&zvecs, 160, NeighborStrategy::Banded);
+    assert_eq!(scan.mode_name(), "scan");
+    for (idx, threshold) in [(probe, 45usize), (scan, 160)] {
+        let exact = NeighborIndex::build(&zvecs, threshold, NeighborStrategy::Exact);
+        assert_eq!(idx.adjacency(), exact.adjacency(), "τ={threshold}");
+        for min_size in [3usize, 30, 80] {
+            let a = idx.peel(min_size);
+            let b = peel_clusters(&zvecs, &exact.adjacency(), min_size);
+            assert_eq!(a.assignment, b.assignment, "τ={threshold} min={min_size}");
+            assert_eq!(a.clusters, b.clusters, "τ={threshold} min={min_size}");
+        }
+    }
+}
+
+/// Deterministic grouped case with duplicates spread across camps (the
+/// inner index over ~330 groups runs the materialized exact pass).
+#[test]
+fn grouped_bucket_mode_multi_peel() {
+    let mut zvecs = mixed_zvecs(11, 380, 640, 6);
+    // Triple every fifth vector so groups have real multiplicity.
+    for i in (0..380).step_by(5) {
+        let v = zvecs[i].clone();
+        zvecs.push(v.clone());
+        zvecs.push(v);
+    }
+    let grouped = NeighborIndex::build(&zvecs, 30, NeighborStrategy::Grouped);
+    assert_eq!(grouped.mode_name(), "grouped");
+    let exact = NeighborIndex::build(&zvecs, 30, NeighborStrategy::Exact);
+    assert_eq!(grouped.adjacency(), exact.adjacency());
+    assert_eq!(grouped.degrees(), exact.degrees());
+    for min_size in [3usize, 40, 90] {
+        let a = grouped.peel(min_size);
+        let b = peel_clusters(&zvecs, &exact.adjacency(), min_size);
+        assert_eq!(a.assignment, b.assignment, "min_size={min_size}");
+        assert_eq!(a.clusters, b.clusters, "min_size={min_size}");
+    }
+}
+
+/// The production-scale recursion e13 hits: more than `AUTO_EXACT_MAX`
+/// groups survive dedup, so the grouped strategy's *inner* index runs
+/// banded over the representatives. 400 camps × (center + 12 single-bit
+/// variants), centers duplicated ×2 ⇒ n = 6000, G = 5200 > 4096 (and
+/// ≤ 7n/8, so grouping does not fall back to direct banding). τ = 6 with
+/// 512-bit vectors keeps the inner τ+1 bands 73 bits wide — the banded
+/// bucket path. Pinned against the banded player-level index, which the
+/// other tests pin against brute force.
+#[test]
+fn grouped_with_banded_inner_index() {
+    let len = 512usize;
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut zvecs: Vec<BitVec> = Vec::new();
+    for _ in 0..400 {
+        let center = BitVec::random(&mut rng, len);
+        for _ in 0..3 {
+            zvecs.push(center.clone());
+        }
+        for j in 0..12 {
+            let mut v = center.clone();
+            v.flip(j * 41); // single distinct flip ⇒ within-camp distance ≤ 2
+            zvecs.push(v);
+        }
+    }
+    assert_eq!(zvecs.len(), 6000);
+    let tau = 6usize;
+    let grouped = NeighborIndex::build(&zvecs, tau, NeighborStrategy::Grouped);
+    assert_eq!(grouped.mode_name(), "grouped");
+    let banded = NeighborIndex::build(&zvecs, tau, NeighborStrategy::Banded);
+    assert_eq!(banded.mode_name(), "banded");
+    assert_eq!(grouped.degrees(), banded.degrees());
+    for p in [0usize, 1, 14, 2999, 5999] {
+        assert_eq!(
+            grouped.neighbors_of(p),
+            banded.neighbors_of(p),
+            "player {p}"
+        );
+    }
+    for min_size in [10usize, 15] {
+        let a = grouped.peel(min_size);
+        let b = banded.peel(min_size);
+        assert_eq!(a.assignment, b.assignment, "min_size={min_size}");
+        assert_eq!(a.clusters, b.clusters, "min_size={min_size}");
+        assert!(a.is_partition());
     }
 }
