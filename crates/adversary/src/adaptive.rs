@@ -1,0 +1,338 @@
+//! Adaptive corruption: an adversary that re-targets between repetitions.
+//!
+//! The paper's fault model fixes the dishonest set before the execution;
+//! trust-score systems in the wild face something stronger — participants
+//! who *watch the scoring* and shift their behaviour in response (Ignat et
+//! al., "The Influence of Trust Score on Cooperative Behavior"). This
+//! module models the between-repetition version of that adversary: after
+//! each protocol execution the attacker observes the surviving clustering
+//! and the honest error scores ([`Observation`], distilled from the same
+//! omniscient world view [`crate::AdvCtx`] exposes during a run), and
+//! re-selects *which* players are corrupted for the next repetition —
+//! e.g. concentrating its whole budget on the smallest surviving group,
+//! where each vote matters most.
+//!
+//! [`AdaptiveCorruption`] wraps a static [`Corruption`] (which fixes the
+//! *budget*: the adaptive adversary never corrupts more players than its
+//! static base would). The observation `window` bounds how much history
+//! the adversary may consult; a window of **zero reduces it exactly to
+//! the wrapped static model** — the property `tests/dynamic_world.rs`
+//! pins, and the control arm every adaptive experiment compares against.
+
+use byzscore_model::Planted;
+
+use crate::corruption::Corruption;
+
+/// What the adversary observed from one completed repetition.
+///
+/// Index `g` refers to group `g` of the repetition's planted/recovered
+/// structure. Built by the dynamic-world runner from the omniscient
+/// post-run view (the same truth access [`crate::AdvCtx`] grants
+/// strategies mid-run).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Observation {
+    /// Honest survivors per group: members that were not corrupted in the
+    /// observed repetition.
+    pub group_survivors: Vec<usize>,
+    /// Mean prediction error of the honest members per group, when the
+    /// observed run materialized its output (dense sink); `None` under a
+    /// streaming sink.
+    pub group_mean_err: Option<Vec<f64>>,
+}
+
+impl Observation {
+    /// Observation carrying only the surviving-group sizes.
+    pub fn sizes(group_survivors: Vec<usize>) -> Self {
+        Observation {
+            group_survivors,
+            group_mean_err: None,
+        }
+    }
+}
+
+/// How the adversary converts observations into a target group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptivePolicy {
+    /// Concentrate the budget on the smallest surviving group (fewest
+    /// honest survivors, ties to the lowest index) — the fewer honest
+    /// votes a group casts, the cheaper its majority is to flip.
+    SmallestGroup,
+    /// Concentrate on the group whose honest members already showed the
+    /// highest mean error — kick the group that is already stumbling.
+    /// Falls back to [`AdaptivePolicy::SmallestGroup`] when no observation
+    /// in the window carries error scores.
+    HighestError,
+}
+
+/// A corruption model that re-targets after observing previous
+/// repetitions.
+#[derive(Clone, Debug)]
+pub struct AdaptiveCorruption {
+    /// The static model supplying the corruption *budget* (and the
+    /// fallback selection when nothing has been observed).
+    pub base: Corruption,
+    /// How many of the most recent observations the adversary may
+    /// consult. `0` disables adaptation entirely: selection is exactly
+    /// `base`, whatever the history says.
+    pub window: usize,
+    /// Target-selection policy.
+    pub policy: AdaptivePolicy,
+}
+
+impl AdaptiveCorruption {
+    /// Adaptive wrapper around `base`.
+    pub fn new(base: Corruption, window: usize, policy: AdaptivePolicy) -> Self {
+        AdaptiveCorruption {
+            base,
+            window,
+            policy,
+        }
+    }
+
+    /// The non-adaptive control: window 0, selection ≡ `base`.
+    pub fn off(base: Corruption) -> Self {
+        AdaptiveCorruption::new(base, 0, AdaptivePolicy::SmallestGroup)
+    }
+
+    /// Produce the dishonest mask for the next repetition, given the
+    /// observations gathered so far (oldest first).
+    ///
+    /// Deterministic in `(n, planted, seed, visible history)`. With an
+    /// empty visible window — `window == 0`, or no history yet — this is
+    /// **bit-identical** to `base.select_mask(n, planted, seed)`.
+    pub fn select_mask(
+        &self,
+        n: usize,
+        planted: Option<&Planted>,
+        seed: u64,
+        history: &[Observation],
+    ) -> Vec<bool> {
+        self.select_mask_with_target(n, planted, seed, history).0
+    }
+
+    /// [`AdaptiveCorruption::select_mask`], also reporting which group was
+    /// targeted (`None` when selection fell through to the static base).
+    pub fn select_mask_with_target(
+        &self,
+        n: usize,
+        planted: Option<&Planted>,
+        seed: u64,
+        history: &[Observation],
+    ) -> (Vec<bool>, Option<usize>) {
+        let base_mask = self.base.select_mask(n, planted, seed);
+        let visible = &history[history.len() - self.window.min(history.len())..];
+        if self.window == 0 || visible.is_empty() {
+            return (base_mask, None);
+        }
+        let Some(planted) = planted else {
+            // Nothing to aim at without group structure.
+            return (base_mask, None);
+        };
+        let Some(target) = self.pick_target(visible) else {
+            return (base_mask, None);
+        };
+        // Same budget as the static base, re-aimed at the target group.
+        let budget = base_mask.iter().filter(|&&d| d).count();
+        let mask = Corruption::InCluster {
+            cluster: target,
+            count: budget,
+        }
+        .select_mask(n, Some(planted), seed);
+        (mask, Some(target))
+    }
+
+    /// Aggregate the visible observations into one target group.
+    fn pick_target(&self, visible: &[Observation]) -> Option<usize> {
+        let groups = visible
+            .iter()
+            .map(|o| o.group_survivors.len())
+            .min()
+            .unwrap_or(0);
+        if groups == 0 {
+            return None;
+        }
+        if self.policy == AdaptivePolicy::HighestError {
+            // Mean of the observed per-group mean errors, over the
+            // observations that carry scores for every group in play
+            // (both fields are public, so a caller-built observation may
+            // be shorter than its survivor list — treat it as unscored
+            // rather than indexing past it).
+            let scored: Vec<&Observation> = visible
+                .iter()
+                .filter(|o| o.group_mean_err.as_ref().is_some_and(|v| v.len() >= groups))
+                .collect();
+            if !scored.is_empty() {
+                let mut best = 0usize;
+                let mut best_err = f64::MIN;
+                for g in 0..groups {
+                    let err: f64 = scored
+                        .iter()
+                        .map(|o| o.group_mean_err.as_ref().unwrap()[g])
+                        .sum::<f64>()
+                        / scored.len() as f64;
+                    if err > best_err {
+                        best_err = err;
+                        best = g;
+                    }
+                }
+                return Some(best);
+            }
+            // No scores anywhere in the window: fall through to sizes.
+        }
+        // Smallest surviving group: fewest aggregated honest survivors,
+        // preferring groups that still have anyone left to deceive.
+        let survivors: Vec<usize> = (0..groups)
+            .map(|g| visible.iter().map(|o| o.group_survivors[g]).sum())
+            .collect();
+        let candidate = |alive: bool| {
+            survivors
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| (s > 0) == alive)
+                .min_by_key(|(_, &s)| s)
+                .map(|(g, _)| g)
+        };
+        candidate(true).or_else(|| candidate(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzscore_model::{Balance, Workload};
+
+    fn planted() -> Planted {
+        Workload::PlantedClusters {
+            players: 32,
+            objects: 32,
+            clusters: 4,
+            diameter: 4,
+            balance: Balance::Even,
+        }
+        .generate(1)
+        .planted()
+        .unwrap()
+        .clone()
+    }
+
+    fn obs(sizes: &[usize]) -> Observation {
+        Observation::sizes(sizes.to_vec())
+    }
+
+    #[test]
+    fn zero_window_is_exactly_the_base() {
+        let p = planted();
+        let base = Corruption::Count { count: 6 };
+        let adaptive = AdaptiveCorruption::off(base.clone());
+        let history = vec![obs(&[1, 2, 3, 4]), obs(&[4, 3, 2, 1])];
+        for seed in 0..8 {
+            assert_eq!(
+                adaptive.select_mask(32, Some(&p), seed, &history),
+                base.select_mask(32, Some(&p), seed),
+            );
+        }
+    }
+
+    #[test]
+    fn empty_history_is_the_base_even_with_a_window() {
+        let p = planted();
+        let base = Corruption::Count { count: 5 };
+        let adaptive = AdaptiveCorruption::new(base.clone(), 3, AdaptivePolicy::SmallestGroup);
+        let (mask, target) = adaptive.select_mask_with_target(32, Some(&p), 7, &[]);
+        assert_eq!(mask, base.select_mask(32, Some(&p), 7));
+        assert_eq!(target, None);
+    }
+
+    #[test]
+    fn targets_the_smallest_surviving_group_with_base_budget() {
+        let p = planted(); // 4 clusters of 8
+        let adaptive = AdaptiveCorruption::new(
+            Corruption::Count { count: 5 },
+            1,
+            AdaptivePolicy::SmallestGroup,
+        );
+        let history = vec![obs(&[8, 8, 8, 8]), obs(&[8, 3, 8, 0])];
+        // Window 1: only the last observation is visible; group 3 has no
+        // survivors, so the smallest *surviving* group is 1.
+        let (mask, target) = adaptive.select_mask_with_target(32, Some(&p), 9, &history);
+        assert_eq!(target, Some(1));
+        assert_eq!(mask.iter().filter(|&&d| d).count(), 5, "budget preserved");
+        for (player, &d) in mask.iter().enumerate() {
+            if d {
+                assert_eq!(p.assignment[player], 1, "player {player} off-target");
+            }
+        }
+    }
+
+    #[test]
+    fn window_aggregates_multiple_observations() {
+        let p = planted();
+        let adaptive = AdaptiveCorruption::new(
+            Corruption::Count { count: 4 },
+            2,
+            AdaptivePolicy::SmallestGroup,
+        );
+        // Summed over the window: [10, 4, 16, 9] ⇒ group 1.
+        let history = vec![obs(&[2, 2, 8, 1]), obs(&[8, 2, 8, 8])];
+        let (_, target) = adaptive.select_mask_with_target(32, Some(&p), 3, &history);
+        assert_eq!(target, Some(1));
+    }
+
+    #[test]
+    fn highest_error_policy_follows_scores_and_falls_back() {
+        let p = planted();
+        let adaptive = AdaptiveCorruption::new(
+            Corruption::Count { count: 4 },
+            1,
+            AdaptivePolicy::HighestError,
+        );
+        let scored = Observation {
+            group_survivors: vec![8, 8, 8, 8],
+            group_mean_err: Some(vec![0.5, 9.0, 1.0, 2.0]),
+        };
+        let (_, target) = adaptive.select_mask_with_target(32, Some(&p), 4, &[scored]);
+        assert_eq!(target, Some(1), "chases the highest observed error");
+        // Without scores the policy degrades to smallest-group.
+        let (_, target) = adaptive.select_mask_with_target(32, Some(&p), 4, &[obs(&[8, 8, 2, 8])]);
+        assert_eq!(target, Some(2));
+        // A caller-built observation with fewer scores than groups is
+        // treated as unscored, never indexed past.
+        let short = Observation {
+            group_survivors: vec![8, 8, 2, 8],
+            group_mean_err: Some(vec![9.0]),
+        };
+        let (_, target) = adaptive.select_mask_with_target(32, Some(&p), 4, &[short]);
+        assert_eq!(target, Some(2), "short score vector falls back to sizes");
+    }
+
+    #[test]
+    fn no_planted_structure_means_no_retarget() {
+        let adaptive = AdaptiveCorruption::new(
+            Corruption::FirstK { count: 3 },
+            2,
+            AdaptivePolicy::SmallestGroup,
+        );
+        let (mask, target) = adaptive.select_mask_with_target(16, None, 5, &[obs(&[4, 1])]);
+        assert_eq!(target, None);
+        assert_eq!(
+            mask,
+            Corruption::FirstK { count: 3 }.select_mask(16, None, 5)
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_history() {
+        let p = planted();
+        let adaptive = AdaptiveCorruption::new(
+            Corruption::Count { count: 6 },
+            2,
+            AdaptivePolicy::SmallestGroup,
+        );
+        let history = vec![obs(&[5, 2, 7, 8])];
+        let a = adaptive.select_mask(32, Some(&p), 11, &history);
+        let b = adaptive.select_mask(32, Some(&p), 11, &history);
+        let c = adaptive.select_mask(32, Some(&p), 12, &history);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct seeds pick distinct members");
+    }
+}

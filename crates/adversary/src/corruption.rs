@@ -42,6 +42,14 @@ pub enum Corruption {
         /// Number of dishonest players.
         count: usize,
     },
+    /// Exactly this precomputed mask, verbatim. The escape hatch for
+    /// drivers that compute masks outside the enum — the dynamic-world
+    /// runner's [`crate::AdaptiveCorruption`] re-targets per repetition and
+    /// injects the result here.
+    Explicit {
+        /// The dishonest mask (must cover all `n` players).
+        mask: Vec<bool>,
+    },
 }
 
 impl Corruption {
@@ -60,6 +68,10 @@ impl Corruption {
         let mut mask = vec![false; n];
         match *self {
             Corruption::None => {}
+            Corruption::Explicit { mask: ref m } => {
+                assert_eq!(m.len(), n, "explicit mask must cover all {n} players");
+                mask.copy_from_slice(m);
+            }
             Corruption::Count { count } => {
                 assert!(count <= n, "cannot corrupt {count} of {n}");
                 let mut ids: Vec<usize> = (0..n).collect();
@@ -178,6 +190,22 @@ mod tests {
         }
         .select(&instance, 5);
         assert_eq!(m.iter().filter(|&&d| d).count(), 12);
+    }
+
+    #[test]
+    fn explicit_mask_is_returned_verbatim() {
+        let want = vec![true, false, true, false];
+        let m = Corruption::Explicit { mask: want.clone() }.select_mask(4, None, 9);
+        assert_eq!(m, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all")]
+    fn explicit_mask_length_is_checked() {
+        Corruption::Explicit {
+            mask: vec![true; 3],
+        }
+        .select_mask(4, None, 0);
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //! paper's guarantees must — and, per experiment E9, do — hold against it.
 //!
 //! * [`Corruption`] selects *which* players are dishonest (random fraction,
-//!   exact count, targeted inside a planted cluster for hijack experiments).
+//!   exact count, targeted inside a planted cluster for hijack experiments,
+//!   or an explicit precomputed mask).
+//! * [`AdaptiveCorruption`] goes beyond the paper's static set: it observes
+//!   completed repetitions ([`Observation`]: surviving group sizes, honest
+//!   error scores) and re-targets its budget — e.g. onto the smallest
+//!   surviving group — subject to an observation window; window 0 reduces
+//!   exactly to the wrapped static model.
 //! * [`Strategy`] decides *what* a dishonest player posts at each protocol
 //!   phase; implementations range from control (behave honestly) through
 //!   random lying to targeted cluster hijacking (the attack Lemma 13 is
@@ -23,10 +29,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod behaviors;
 mod corruption;
 mod strategy;
 
+pub use adaptive::{AdaptiveCorruption, AdaptivePolicy, Observation};
 pub use behaviors::Behaviors;
 pub use corruption::Corruption;
 pub use strategy::{

@@ -1,0 +1,5 @@
+//! Entry point for experiment `e14` (churn robust).
+
+fn main() {
+    byzscore_bench::cli::single_main("e14");
+}

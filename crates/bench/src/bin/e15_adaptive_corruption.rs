@@ -1,0 +1,5 @@
+//! Entry point for experiment `e15` (adaptive corruption).
+
+fn main() {
+    byzscore_bench::cli::single_main("e15");
+}

@@ -1,0 +1,5 @@
+//! Entry point for experiment `e16` (drifting truth).
+
+fn main() {
+    byzscore_bench::cli::single_main("e16");
+}

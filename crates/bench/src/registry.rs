@@ -12,7 +12,7 @@ use crate::{experiments as e, Scale};
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Short stable id (`e01` … `e12`, `a1` … `a3`), the `--only` key.
+    /// Short stable id (`e01` … `e16`, `a1` … `a3`), the `--only` key.
     pub id: &'static str,
     /// Human-readable slug (`rselect`, `byzantine`, …).
     pub name: &'static str,
@@ -129,6 +129,30 @@ pub static REGISTRY: &[Experiment] = &[
         runner: e::e13_scale_frontier,
     },
     Experiment {
+        id: "e14",
+        name: "churn_robust",
+        description:
+            "Dynamic worlds: per-round error trajectory under seeded population churn (retire/join identity remap)",
+        tags: &["dynamic", "protocol"],
+        runner: e::e14_churn_robust,
+    },
+    Experiment {
+        id: "e15",
+        name: "adaptive_corruption",
+        description:
+            "Dynamic worlds: adversary re-targets its n/(3B) budget after observing each repetition's clustering/scores",
+        tags: &["dynamic", "byzantine"],
+        runner: e::e15_adaptive_corruption,
+    },
+    Experiment {
+        id: "e16",
+        name: "drifting_truth",
+        description:
+            "Dynamic worlds: drifting preferences on the procedural @scale backend, plus the multi-bit graded drift trajectory",
+        tags: &["dynamic", "scale", "graded"],
+        runner: e::e16_drifting_truth,
+    },
+    Experiment {
         id: "a1",
         name: "select-ablation",
         description: "Ablation: Select batch size and elimination constants",
@@ -187,7 +211,7 @@ mod tests {
             assert!(!x.description.is_empty(), "{} lacks a description", x.id);
             assert!(!x.tags.is_empty(), "{} lacks tags", x.id);
         }
-        assert_eq!(REGISTRY.len(), 16);
+        assert_eq!(REGISTRY.len(), 19);
     }
 
     #[test]
@@ -208,8 +232,11 @@ mod tests {
     #[test]
     fn tag_selection() {
         let byz = select("@byzantine");
-        assert_eq!(byz.len(), 2);
+        assert_eq!(byz.len(), 3);
         assert!(byz.iter().any(|x| x.id == "e10"));
+        assert!(byz.iter().any(|x| x.id == "e15"));
+        let dynamic = select("@dynamic");
+        assert_eq!(dynamic.len(), 3, "e14–e16 carry the dynamic tag");
         assert_eq!(select("e07").len(), 1);
         assert!(select("@nope").is_empty());
     }

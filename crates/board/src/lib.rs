@@ -12,7 +12,12 @@
 //! * [`TruthSource`] — the pluggable hidden-preference substrate:
 //!   [`DenseTruth`] owns a materialized matrix, [`ProceduralTruth`]
 //!   regenerates planted-cluster bits on the fly from a [`ClusterSpec`] in
-//!   `O(1)` memory per player (the `n ≥ 10⁵` backend).
+//!   `O(1)` memory per player (the `n ≥ 10⁵` backend). Dynamic worlds
+//!   compose adapters over any base: [`DriftingTruth`] pins one epoch of a
+//!   seeded preference-drift law (advance with [`DriftingTruth::at_epoch`]),
+//!   and [`RemappedTruth`] views a pool source through a churn identity
+//!   map — each snapshot stays immutable, so the purity contract (and every
+//!   determinism test) survives time-varying scenarios.
 //! * [`Oracle`] — the only path to the hidden truth; every probe is
 //!   counted against the probing player in a lock-free [`ProbeLedger`].
 //!   Probe complexity is the paper's sole cost measure, so the ledger is the
@@ -39,12 +44,16 @@
 #![warn(missing_docs)]
 
 mod bulletin;
+mod drift;
 mod ledger;
 mod oracle;
 pub mod par;
 mod truth;
 
 pub use bulletin::{scope_id, Board, BoardStats, ScopeHandle};
+pub use drift::{DriftLocality, DriftSchedule, DriftingTruth};
 pub use ledger::{LedgerSnapshot, ProbeLedger};
 pub use oracle::Oracle;
-pub use truth::{ClusterSpec, DenseTruth, IntoTruthSource, ProceduralTruth, TruthSource};
+pub use truth::{
+    ClusterSpec, DenseTruth, IntoTruthSource, ProceduralTruth, RemappedTruth, TruthSource,
+};

@@ -291,6 +291,62 @@ impl TruthSource for ProceduralTruth {
     }
 }
 
+/// A view of an inner truth source through an identity map: slot `p` of
+/// the view reads row `map[p]` of the inner source.
+///
+/// This is the substrate half of **churn**: a dynamic world draws its
+/// population from a fixed pool source (dense or procedural — the adapter
+/// is backend-agnostic), and between protocol executions the runner
+/// retires some slots and maps fresh pool identities in. Each
+/// `RemappedTruth` is immutable, preserving the [`TruthSource`] purity
+/// contract; the *sequence* of maps carries the dynamics.
+pub struct RemappedTruth {
+    inner: Arc<dyn TruthSource>,
+    map: Vec<u32>,
+}
+
+impl RemappedTruth {
+    /// View `inner` through `map` (slot → inner row). Every entry must be
+    /// a valid inner row.
+    pub fn new(inner: Arc<dyn TruthSource>, map: Vec<u32>) -> Self {
+        let rows = inner.players();
+        assert!(
+            map.iter().all(|&r| (r as usize) < rows),
+            "identity map points past the {rows}-row pool"
+        );
+        RemappedTruth { inner, map }
+    }
+
+    /// The identity map (slot → inner row).
+    pub fn map(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// The pool source being viewed.
+    pub fn inner(&self) -> &Arc<dyn TruthSource> {
+        &self.inner
+    }
+}
+
+impl TruthSource for RemappedTruth {
+    fn players(&self) -> usize {
+        self.map.len()
+    }
+
+    fn objects(&self) -> usize {
+        self.inner.objects()
+    }
+
+    #[inline]
+    fn value(&self, player: u32, object: u32) -> bool {
+        self.inner.value(self.map[player as usize], object)
+    }
+
+    fn row(&self, player: u32) -> BitVec {
+        self.inner.row(self.map[player as usize])
+    }
+}
+
 /// Conversion into a shared truth source, so constructors like
 /// [`crate::Oracle::new`] accept a borrowed matrix (cloned), an owned
 /// backend, or an already-shared `Arc` without ceremony.
@@ -324,6 +380,12 @@ impl IntoTruthSource for DenseTruth {
 }
 
 impl IntoTruthSource for ProceduralTruth {
+    fn into_truth_source(self) -> Arc<dyn TruthSource> {
+        Arc::new(self)
+    }
+}
+
+impl IntoTruthSource for RemappedTruth {
     fn into_truth_source(self) -> Arc<dyn TruthSource> {
         Arc::new(self)
     }
@@ -441,6 +503,29 @@ mod tests {
                 assert_eq!(t.row(w[0]), t.row(w[1]), "clones must be identical");
             }
         }
+    }
+
+    #[test]
+    fn remapped_reads_through_the_map() {
+        let pool = spec(16, 32);
+        let t = ProceduralTruth::new(pool);
+        let dense = t.materialize();
+        let map = vec![3u32, 3, 15, 0];
+        let view = RemappedTruth::new(Arc::new(t), map.clone());
+        assert_eq!(view.players(), 4);
+        assert_eq!(view.objects(), 32);
+        for (slot, &row) in map.iter().enumerate() {
+            assert_eq!(view.row(slot as u32), dense.row_to_bitvec(row as usize));
+            assert_eq!(view.value(slot as u32, 7), dense.get(row as usize, 7));
+        }
+        assert_eq!(view.map(), &map[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn remapped_rejects_out_of_pool_rows() {
+        let t = ProceduralTruth::new(spec(8, 16));
+        RemappedTruth::new(Arc::new(t), vec![8]);
     }
 
     #[test]

@@ -62,12 +62,20 @@
 //! independent `(algorithm, seed)` points run in parallel with
 //! [`Session::run_sweep`]. Byzantine runs plug in a corruption model and
 //! strategy from `byzscore-adversary`; see `examples/sybil_attack.rs`.
+//!
+//! Beyond the paper's static model, the [`dynamic`] module runs *sequences*
+//! of executions over worlds that change between rounds — drifting truth
+//! ([`DriftingTruth`]), population churn ([`ChurnSchedule`]), and
+//! adversaries that re-target after observing each round
+//! (`byzscore_adversary::AdaptiveCorruption`) — and [`graded`] extends the
+//! plane to multi-bit scores, drifting or not.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod cluster;
+pub mod dynamic;
 pub mod graded;
 mod params;
 mod protocol;
@@ -76,8 +84,12 @@ mod runner;
 pub mod sampling;
 pub mod share;
 
-pub use byzscore_board::{ClusterSpec, DenseTruth, ProceduralTruth, TruthSource};
+pub use byzscore_board::{
+    ClusterSpec, DenseTruth, DriftLocality, DriftSchedule, DriftingTruth, ProceduralTruth,
+    RemappedTruth, TruthSource,
+};
 pub use cluster::{NeighborIndex, NeighborStrategy};
+pub use dynamic::{ChurnSchedule, DynamicOutcome, DynamicWorld, DynamicWorldBuilder, RoundReport};
 pub use params::ProtocolParams;
 pub use protocol::calculate_preferences;
 pub use robust::robust_calculate_preferences;

@@ -3,6 +3,7 @@
 
 Usage:
   check_bench.py BASELINE.json CURRENT.json [--tol COLUMN=REL ...] [--timing-report]
+  check_bench.py --timing-summary ARTIFACT.json
   check_bench.py --self-test
 
 Every experiment run is a pure function of its seeds (the determinism test
@@ -27,6 +28,15 @@ moved beyond a generous tolerance (TIMING_FLAG_RATIO). It is report-only:
 timing never gates — wall-clock is host- and contention-dependent — but
 the committed BENCH_*.json artifacts carry `seconds`, so the report turns
 them into a perf trajectory across commits.
+
+--timing-summary prints the per-experiment `seconds` of a SINGLE artifact
+(no baseline needed): the weekly full-scale CI run has no committed
+full-scale baseline to diff against, so its trajectory is the sequence of
+these summaries across retained artifacts.
+
+An experiment present in the baseline but absent from the current
+artifact fails the check even when it contributed no tables — a silently
+dropped registry entry must not pass the gate.
 """
 
 import difflib
@@ -120,8 +130,21 @@ def compare_docs(baseline, current, overrides=()):
     diff_lines = []
     notes = []
 
+    # Experiment-level presence first: a registry entry dropped from the
+    # current run must fail even if it carried no tables (the table loop
+    # below cannot see those), and its tables are skipped to keep the
+    # failure list readable.
+    cur_ids = {e["id"] for e in current["experiments"]}
+    missing_ids = set()
+    for exp_id in (e["id"] for e in baseline["experiments"]):
+        if exp_id not in cur_ids:
+            missing_ids.add(exp_id)
+            failures.append(f"[{exp_id}] experiment missing from current artifact")
+
     for key, base in sorted(base_tables.items()):
         exp_id, title = key
+        if exp_id in missing_ids:
+            continue
         cur = cur_tables.get(key)
         if cur is None:
             failures.append(f"[{exp_id}] table missing: {title!r}")
@@ -194,10 +217,32 @@ def timing_report(baseline, current):
     return lines
 
 
+def timing_summary(doc):
+    """Per-experiment seconds of one artifact (the weekly @scale runs have
+    no committed full-scale baseline; their trajectory is this summary,
+    one per retained artifact)."""
+    lines = [
+        "timing summary (single artifact — informational, wall-clock never gates):",
+        f"  scale={doc.get('scale', '?')} threads={doc.get('threads', '?')}",
+        f"  {'id':<6} {'seconds':>11}",
+    ]
+    total = 0.0
+    for exp in doc["experiments"]:
+        secs = exp.get("seconds")
+        if secs is None:
+            lines.append(f"  {exp['id']:<6} {'?':>11}")
+            continue
+        total += secs
+        lines.append(f"  {exp['id']:<6} {secs:>11.3f}")
+    lines.append(f"  {'total':<6} {total:>11.3f}")
+    return lines
+
+
 def parse_args(argv):
     paths = []
     overrides = []
     want_timing = False
+    summary = False
     it = iter(argv)
     for arg in it:
         if arg == "--tol":
@@ -208,15 +253,27 @@ def parse_args(argv):
             overrides.append((col.strip().lower(), float(tol)))
         elif arg == "--timing-report":
             want_timing = True
+        elif arg == "--timing-summary":
+            summary = True
         else:
             paths.append(arg)
+    if summary:
+        if len(paths) != 1 or overrides or want_timing:
+            sys.exit("--timing-summary expects exactly one artifact path")
+        return paths, [], False, True
     if len(paths) != 2:
         sys.exit(__doc__)
-    return paths, overrides, want_timing
+    return paths, overrides, want_timing, False
 
 
 def main():
-    (base_path, cur_path), overrides, want_timing = parse_args(sys.argv[1:])
+    paths, overrides, want_timing, summary = parse_args(sys.argv[1:])
+    if summary:
+        with open(paths[0]) as f:
+            for line in timing_summary(json.load(f)):
+                print(line)
+        return
+    base_path, cur_path = paths
     with open(base_path) as f:
         baseline = json.load(f)
     with open(cur_path) as f:
@@ -344,7 +401,38 @@ def self_test():
     assert not any("SLOWER" in line for line in report), report
     assert not any("infx" in line for line in report), report
 
-    print("check_bench self-test OK (11 scenarios)")
+    # A whole experiment dropped from the current artifact fails — even
+    # when it contributed no tables, the case the per-table loop cannot
+    # see (a silently dropped registry entry must not pass the gate).
+    tabled = doc([["64", "3.00", "10"]])
+    tabled["experiments"].append({"id": "eZZ", "tables": []})
+    pruned = doc([["64", "3.00", "10"]])
+    fails, _, _ = compare_docs(tabled, pruned)
+    assert len(fails) == 1 and "experiment missing" in fails[0], fails
+    # Dropping an experiment WITH tables reports once at experiment level
+    # (its table mismatches are suppressed as redundant).
+    both = doc([["64", "3.00", "10"]])
+    both["experiments"].append(
+        {"id": "eWW", "tables": [{"title": "w", "headers": ["a"], "rows": [["1"]]}]}
+    )
+    fails, _, _ = compare_docs(both, pruned)
+    assert len(fails) == 1 and "[eWW] experiment missing" in fails[0], fails
+    # Same ids on both sides: no presence failure.
+    fails, _, _ = compare_docs(tabled, tabled)
+    assert not fails, fails
+
+    # Single-artifact timing summary: ids, total, scale header.
+    summary = timing_summary(
+        {"scale": "full", "threads": 2, "experiments": [
+            {"id": "e01", "seconds": 1.5, "tables": []},
+            {"id": "e13", "seconds": 400.0, "tables": []},
+        ]}
+    )
+    text = "\n".join(summary)
+    assert "scale=full" in text and "e13" in text, text
+    assert any("total" in line and "401.500" in line for line in summary), summary
+
+    print("check_bench self-test OK (14 scenarios)")
 
 
 if __name__ == "__main__":

@@ -374,6 +374,94 @@ fn error_stream_sink_matches_dense_sink() {
 }
 
 #[test]
+fn dynamic_world_is_bit_identical_across_thread_counts() {
+    // The dynamic-world trajectory — drifting truth, churn remapping, and
+    // an adaptive adversary re-targeting between rounds — must be a pure
+    // function of (pool, schedules, master seed): per-round outputs, probe
+    // ledgers, churn decisions, and adaptive targets all bit-identical
+    // under 1, 2, and 8 worker threads. Rounds are sequential, but each
+    // round's phases fan out through par.rs — this is the fence for e14–e16.
+    use byzscore::{ChurnSchedule, ClusterSpec, DriftLocality, DriftSchedule, DynamicWorld};
+    use byzscore_adversary::{AdaptiveCorruption, AdaptivePolicy};
+    use byzscore_board::par::set_thread_limit;
+
+    let _gate = THREAD_LIMIT_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let build = || {
+        DynamicWorld::builder()
+            .pool(ClusterSpec {
+                players: 90,
+                objects: 128,
+                clusters: 4,
+                diameter: 6,
+                seed: 0xd7,
+            })
+            .active(72)
+            .params(byzscore::ProtocolParams::with_budget(4))
+            .churn(ChurnSchedule::replacement(8, 0xc1))
+            .drift(DriftSchedule::new(
+                0.002,
+                DriftLocality::Window { start: 0, len: 64 },
+                0xd2,
+            ))
+            .adversary(
+                AdaptiveCorruption::new(
+                    Corruption::Count { count: 6 },
+                    1,
+                    AdaptivePolicy::SmallestGroup,
+                ),
+                Inverter,
+            )
+            .build()
+    };
+
+    let reference = build().run(Algorithm::CalculatePreferences, 3, 0xd3);
+    for threads in [1usize, 2, 8] {
+        set_thread_limit(Some(threads));
+        let got = build().run(Algorithm::CalculatePreferences, 3, 0xd3);
+        assert_eq!(got.rounds.len(), reference.rounds.len());
+        for (g, r) in got.rounds.iter().zip(&reference.rounds) {
+            assert_eq!(
+                g.outcome.output, r.outcome.output,
+                "round {} output differs at {threads} worker thread(s)",
+                r.round
+            );
+            assert_eq!(
+                g.outcome.probes.counts(),
+                r.outcome.probes.counts(),
+                "round {} probe ledger differs at {threads} worker thread(s)",
+                r.round
+            );
+            assert_eq!(g.outcome.errors, r.outcome.errors);
+            assert_eq!(g.retired, r.retired, "churn differs at {threads} threads");
+            assert_eq!(g.joined, r.joined);
+            assert_eq!(g.target_group, r.target_group);
+        }
+    }
+    set_thread_limit(None);
+
+    // The graded drift trajectory obeys the same invariant.
+    use byzscore::graded::{score_graded_drift, DriftingGrades, GradeMatrix};
+    let base = GradeMatrix::from_fn(32, 48, 2, |p, o| ((p / 8 + o) % 4) as u8);
+    let world = DriftingGrades::new(&base, &DriftSchedule::uniform(0.01, 0xd4));
+    let params = byzscore::ProtocolParams::with_budget(4);
+    let reference = score_graded_drift(&world, &params, Algorithm::CalculatePreferences, 2, 0xd5);
+    for threads in [1usize, 8] {
+        set_thread_limit(Some(threads));
+        let got = score_graded_drift(&world, &params, Algorithm::CalculatePreferences, 2, 0xd5);
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(
+                g.predicted, r.predicted,
+                "graded drift differs at {threads} worker thread(s)"
+            );
+            assert_eq!(g.max_l1, r.max_l1);
+        }
+    }
+    set_thread_limit(None);
+}
+
+#[test]
 fn workload_generation_is_deterministic() {
     let a = world(6);
     let b = world(6);
