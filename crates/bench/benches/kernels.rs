@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use byzscore::cluster::{neighbor_graph, NeighborIndex, NeighborStrategy};
+use byzscore::cluster::{neighbor_graph, GroupCache, NeighborIndex, NeighborStrategy};
 use byzscore_bitset::{majority_fold, BitVec, Bits};
 use byzscore_blocks::VoteTally;
 
@@ -161,12 +161,81 @@ fn bench_neighbor_index(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-guess re-banding: the naive baseline's guess loop runs discovery
+/// once per diameter guess over the SAME z-vectors, only τ doubling. Cold
+/// = a fresh `NeighborIndex::build` per guess (grouping redone every
+/// time); warm = one `GroupCache` built up front, each guess re-banding
+/// the cached group representatives via `cache.cluster(τ, ·)`. Same τ
+/// sweep, same peels — the gap is the per-guess hash-grouping work. The
+/// input is the grouped strategy's collapse regime (duplicate camps, as
+/// SmallRadius z-vectors inside planted clusters): there discovery per
+/// guess *is* mostly the grouping pass, so warm runs the sweep in
+/// roughly one guess's worth of grouping instead of |guesses| of them.
+fn bench_rebanding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebanding");
+    group.sample_size(10);
+    let players = 16384usize;
+    let zs = camps(512, 64, players / 64, 0, 9);
+    let taus = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let min_size = 32usize;
+    group.bench_with_input(BenchmarkId::new("cold", players), &players, |bench, _| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for &tau in &taus {
+                let idx = NeighborIndex::build(&zs, tau, NeighborStrategy::Grouped);
+                total += idx.peel(min_size).clusters.len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("warm", players), &players, |bench, _| {
+        bench.iter(|| {
+            let cache = GroupCache::build(&zs, NeighborStrategy::Grouped);
+            let mut total = 0usize;
+            for &tau in &taus {
+                total += cache.cluster(tau, min_size).clusters.len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+    // Discovery phase only (pack + hash + group + band, no peel): the
+    // peel above is clustering work both paths repeat per guess, so the
+    // end-to-end pair understates the discovery drop. This pair isolates
+    // it — cold rebuilds the cache per τ, warm builds once and re-bands.
+    group.bench_with_input(
+        BenchmarkId::new("discovery-cold", players),
+        &players,
+        |bench, _| {
+            bench.iter(|| {
+                for &tau in &taus {
+                    let cache = GroupCache::build(&zs, NeighborStrategy::Grouped);
+                    std::hint::black_box(cache.index(tau));
+                }
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("discovery-warm", players),
+        &players,
+        |bench, _| {
+            bench.iter(|| {
+                let cache = GroupCache::build(&zs, NeighborStrategy::Grouped);
+                for &tau in &taus {
+                    std::hint::black_box(cache.index(tau));
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_hamming,
     bench_majority,
     bench_vote_tally,
     bench_neighbor_graph,
-    bench_neighbor_index
+    bench_neighbor_index,
+    bench_rebanding
 );
 criterion_main!(kernels);

@@ -41,6 +41,7 @@ pub fn e13_scale_frontier(scale: Scale) -> Vec<Table> {
             "mean err",
             "peak claim slots",
             "claim posts",
+            "peak candidate bytes",
             crate::elapsed_header(),
         ],
     );
@@ -72,6 +73,7 @@ pub fn e13_scale_frontier(scale: Scale) -> Vec<Table> {
                 f2(out.errors.mean),
                 out.board.peak_claim_slots.to_string(),
                 out.board.claim_posts.to_string(),
+                out.peak_candidate_bytes.to_string(),
                 out.elapsed.as_millis().to_string(),
             ]);
         }
@@ -87,7 +89,11 @@ pub fn e13_scale_frontier(scale: Scale) -> Vec<Table> {
          n=100000) costs no memory. Dense truth at n=100000, m={m} would \
          be {:.1} MB per run; the procedural backend stores only {b} \
          cluster centers, and the ErrorStream sink drops output rows once \
-         their errors are folded. {}",
+         their errors are folded. Peak candidate bytes is the summed \
+         per-player peak residency of the streaming RSelect tournaments — \
+         fused into the guess loop it stays near n·m/8 instead of the \
+         batch path's n·guesses·m/8 (zero for GlobalMajority, which runs \
+         no tournament). {}",
         (100_000.0 / b as f64).powi(2) / 1.0e8,
         100_000.0 * m as f64 / 8.0 / 1.0e6,
         match crate::timing_mode() {

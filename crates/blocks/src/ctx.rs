@@ -106,6 +106,37 @@ impl BlockParams {
     }
 }
 
+/// Accumulator for candidate-storage high-water marks.
+///
+/// The streaming `RSelect` tournaments track, per player, the peak number
+/// of resident candidate bytes; summing those per-player peaks gives a
+/// deterministic (order-independent) measure of how much candidate storage
+/// a run needed at its worst. The sum lives behind an atomic only so
+/// parallel phases can add their players' peaks without coordination — the
+/// final value does not depend on thread count or timing.
+#[derive(Debug, Default)]
+pub struct CandidateMeter {
+    peak_bytes: std::sync::atomic::AtomicU64,
+}
+
+impl CandidateMeter {
+    /// Fresh meter at zero.
+    pub fn new() -> CandidateMeter {
+        CandidateMeter::default()
+    }
+
+    /// Add one player's peak resident candidate bytes.
+    pub fn add_peak(&self, bytes: u64) {
+        self.peak_bytes
+            .fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Sum of per-player peaks recorded so far.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Shared execution context threaded through every protocol step.
 ///
 /// Bundles the probe oracle (metered truth access), the bulletin board,
@@ -131,6 +162,10 @@ pub struct Ctx<'a> {
     /// on them (the [`Strategy`](byzscore_adversary::Strategy) API simply
     /// never sees this value).
     pub private_seed: u64,
+    /// Optional sink for candidate-residency accounting (the runner wires
+    /// one in when it wants the `peak_candidate_bytes` metric; `None`
+    /// costs nothing).
+    pub meter: Option<&'a CandidateMeter>,
 }
 
 impl<'a> Ctx<'a> {
@@ -150,6 +185,15 @@ impl<'a> Ctx<'a> {
             beacon,
             params,
             private_seed,
+            meter: None,
+        }
+    }
+
+    /// Same context with candidate-residency accounting attached.
+    pub fn with_meter(&self, meter: &'a CandidateMeter) -> Ctx<'a> {
+        Ctx {
+            meter: Some(meter),
+            ..self.clone()
         }
     }
 

@@ -42,8 +42,8 @@ mod tournament;
 mod votes;
 mod zero_radius;
 
-pub use ctx::{BlockParams, Ctx};
+pub use ctx::{BlockParams, CandidateMeter, Ctx};
 pub use small_radius::small_radius;
-pub use tournament::{rselect, select_among, select_vector};
+pub use tournament::{rselect, select_among, select_vector, StreamingRSelect};
 pub use votes::{popular_vectors, VoteTally};
 pub use zero_radius::zero_radius;

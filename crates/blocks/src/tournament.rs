@@ -77,6 +77,197 @@ pub fn rselect(
         .expect("at least one candidate survives")
 }
 
+/// Incremental [`rselect`]: the same tournament, driven one candidate at a
+/// time as the guess loop produces them, so only the *surviving* candidates
+/// stay resident instead of the full `k × m` matrix.
+///
+/// # Replay contract
+///
+/// The batch loop visits pairs `(i, j)` in lexicographic order with two
+/// quirks that this machine reproduces exactly (pinned by
+/// `streaming_replays_batch_draw_for_draw`):
+///
+/// * a **dead `j` breaks** the inner loop (it does not `continue`), so
+///   later pairs `(i, j')` with `j' > j` are skipped for this `i`;
+/// * a **duplicate `j`** (`diff` empty) dies without an RNG draw and the
+///   inner loop continues.
+///
+/// The only way the batch traversal depends on the final candidate count
+/// `k` is through the loop bounds. The machine therefore advances the
+/// cursor until the next pair would need a candidate that has not arrived
+/// yet, stalls there, and resumes on [`StreamingRSelect::push`];
+/// [`StreamingRSelect::finish`] resolves the remaining bound checks. Every
+/// pair decision and every `choose_k` draw happens in the batch order, so
+/// the RNG stream, the probe sequence, and the winner are bit-identical to
+/// [`rselect`] over the full candidate list.
+///
+/// Eliminated candidates are freed immediately — they are never probed or
+/// compared again, and the winner is the first *alive* index — which is
+/// what caps residency. [`StreamingRSelect::peak_bytes`] reports the
+/// high-water mark of resident candidate storage.
+pub struct StreamingRSelect {
+    sample: usize,
+    threshold: f64,
+    cands: Vec<Option<BitVec>>,
+    alive: Vec<bool>,
+    i: usize,
+    j: usize,
+    resident_bytes: u64,
+    peak_bytes: u64,
+}
+
+fn candidate_bytes(v: &BitVec) -> u64 {
+    std::mem::size_of_val(v.words()) as u64
+}
+
+impl StreamingRSelect {
+    /// Start an empty tournament under `ctx`'s RSelect constants.
+    pub fn new(ctx: &Ctx<'_>) -> StreamingRSelect {
+        StreamingRSelect {
+            sample: (ctx.params.c_rselect * ctx.ln_n()).ceil() as usize,
+            threshold: ctx.params.rselect_threshold,
+            cands: Vec::new(),
+            alive: Vec::new(),
+            i: 0,
+            j: 1,
+            resident_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Candidates accepted so far.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True before the first [`StreamingRSelect::push`].
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// High-water mark of resident candidate bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Feed the next candidate and advance the tournament as far as the
+    /// arrived prefix allows. Probes are charged to `player` and pair
+    /// samples are drawn from `rng`, exactly as [`rselect`] would.
+    pub fn push(
+        &mut self,
+        ctx: &Ctx<'_>,
+        player: u32,
+        candidate: BitVec,
+        objects: &[u32],
+        rng: &mut SmallRng,
+    ) {
+        self.resident_bytes += candidate_bytes(&candidate);
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
+        self.cands.push(Some(candidate));
+        self.alive.push(true);
+        self.advance(ctx, player, objects, rng, false);
+    }
+
+    /// Declare the candidate list complete, run the tournament to the end,
+    /// and return the winning candidate (first surviving index, as in
+    /// [`rselect`]) together with its index.
+    pub fn finish(
+        mut self,
+        ctx: &Ctx<'_>,
+        player: u32,
+        objects: &[u32],
+        rng: &mut SmallRng,
+    ) -> (usize, BitVec) {
+        assert!(
+            !self.cands.is_empty(),
+            "rselect needs at least one candidate"
+        );
+        self.advance(ctx, player, objects, rng, true);
+        let winner = self
+            .alive
+            .iter()
+            .position(|&a| a)
+            .expect("at least one candidate survives");
+        let vector = self.cands[winner].take().expect("winner is resident");
+        (winner, vector)
+    }
+
+    fn kill(&mut self, x: usize) {
+        self.alive[x] = false;
+        if let Some(v) = self.cands[x].take() {
+            self.resident_bytes -= candidate_bytes(&v);
+        }
+    }
+
+    /// Run the cursor forward. With `finished == false`, stop when the next
+    /// pair needs a candidate beyond the arrived prefix; with `finished ==
+    /// true`, treat the arrived count as the batch loop's `k`.
+    fn advance(
+        &mut self,
+        ctx: &Ctx<'_>,
+        player: u32,
+        objects: &[u32],
+        rng: &mut SmallRng,
+        finished: bool,
+    ) {
+        let arrived = self.cands.len();
+        loop {
+            if self.i >= arrived {
+                return; // outer loop exhausted (so far)
+            }
+            if !self.alive[self.i] {
+                // Batch: outer-loop `continue` / inner-loop break on dead i.
+                self.i += 1;
+                self.j = self.i + 1;
+                continue;
+            }
+            if self.j >= arrived {
+                if !finished {
+                    return; // stall: pair (i, j) needs the next candidate
+                }
+                // j reached k: inner loop over, next i.
+                self.i += 1;
+                self.j = self.i + 1;
+                continue;
+            }
+            if !self.alive[self.j] {
+                // Batch breaks the inner loop at a dead j.
+                self.i += 1;
+                self.j = self.i + 1;
+                continue;
+            }
+            let ci = self.cands[self.i].as_ref().expect("alive i resident");
+            let cj = self.cands[self.j].as_ref().expect("alive j resident");
+            let diff = ci.diff_indices(cj);
+            if diff.is_empty() {
+                let j = self.j;
+                self.kill(j); // exact duplicate, no draw
+                self.j += 1;
+                continue;
+            }
+            let t = self.sample.min(diff.len()).max(1);
+            let picks = choose_k(rng, diff.len(), t);
+            let mut agree_i = 0usize;
+            for &x in &picks {
+                let coord = diff[x as usize] as usize;
+                let truth = ctx.oracle.probe(player, objects[coord]);
+                if ci.get(coord) == truth {
+                    agree_i += 1;
+                }
+            }
+            let agree_j = t - agree_i; // complementary on the diff set
+            if agree_i as f64 >= self.threshold * t as f64 {
+                let j = self.j;
+                self.kill(j);
+            } else if agree_j as f64 >= self.threshold * t as f64 {
+                let i = self.i;
+                self.kill(i);
+            }
+            self.j += 1;
+        }
+    }
+}
+
 /// `Select(V, D)_p` — the deterministic tournament Figure 1 references but
 /// does not spell out. Reconstruction (DESIGN.md §4.2): *batched
 /// score-and-eliminate*, linear in `|V|`:
@@ -296,6 +487,105 @@ mod tests {
             oracle.ledger().total(),
             bound
         );
+    }
+
+    /// The streaming machine must replay the batch tournament draw for
+    /// draw: same winner, same probe count, and the private RNG left in
+    /// the same state (checked by drawing one more value from each).
+    #[test]
+    fn streaming_replays_batch_draw_for_draw() {
+        use rand::RngCore;
+        let mut rng = SmallRng::seed_from_u64(17);
+        let truth = BitVec::random(&mut rng, 300);
+        let (m, params) = world(truth.clone());
+        let oracle_a = Oracle::new(&m);
+        let oracle_b = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let objects = all_objects(300);
+
+        // Candidate shapes that exercise every branch: duplicates (no
+        // draw), a far candidate (eliminated), a near one, the truth, and
+        // duplicates of earlier entries appearing late.
+        let mut far = truth.clone();
+        far.flip_random_distinct(&mut rng, 140);
+        let mut near = truth.clone();
+        near.flip_random_distinct(&mut rng, 3);
+        let mut mid = truth.clone();
+        mid.flip_random_distinct(&mut rng, 40);
+        let cases: Vec<Vec<BitVec>> = vec![
+            vec![truth.clone()],
+            vec![far.clone(), truth.clone()],
+            vec![far.clone(), far.clone(), near.clone()],
+            vec![
+                far.clone(),
+                truth.clone(),
+                near.clone(),
+                far.clone(),
+                mid.clone(),
+                near.clone(),
+            ],
+            vec![mid.clone(), mid.clone(), mid.clone()],
+            vec![near.clone(), far.clone(), mid.clone(), truth.clone()],
+        ];
+
+        for (case_no, cands) in cases.into_iter().enumerate() {
+            let ctx_a = Ctx::new(&oracle_a, &board, &behaviors, Beacon::honest(1), &params);
+            let ctx_b = Ctx::new(&oracle_b, &board, &behaviors, Beacon::honest(1), &params);
+            let before_a = oracle_a.ledger().total();
+            let before_b = oracle_b.ledger().total();
+
+            let mut batch_rng = SmallRng::seed_from_u64(1000 + case_no as u64);
+            let won = rselect(&ctx_a, 0, &cands, &objects, &mut batch_rng);
+
+            let mut stream_rng = SmallRng::seed_from_u64(1000 + case_no as u64);
+            let mut sel = StreamingRSelect::new(&ctx_b);
+            for c in &cands {
+                sel.push(&ctx_b, 0, c.clone(), &objects, &mut stream_rng);
+            }
+            let (s_won, s_vec) = sel.finish(&ctx_b, 0, &objects, &mut stream_rng);
+
+            assert_eq!(won, s_won, "case {case_no}: winner index diverged");
+            assert!(
+                s_vec.bits_eq(&cands[won]),
+                "case {case_no}: winner vector diverged"
+            );
+            assert_eq!(
+                oracle_a.ledger().total() - before_a,
+                oracle_b.ledger().total() - before_b,
+                "case {case_no}: probe counts diverged"
+            );
+            assert_eq!(
+                batch_rng.next_u64(),
+                stream_rng.next_u64(),
+                "case {case_no}: RNG streams diverged (extra or missing draws)"
+            );
+        }
+    }
+
+    /// Residency peaks at the surviving prefix, not the full list: pushing
+    /// many duplicates of one vector keeps exactly one resident.
+    #[test]
+    fn streaming_frees_eliminated_candidates() {
+        let (m, params) = world(BitVec::zeros(128));
+        let oracle = Oracle::new(&m);
+        let board = Board::new();
+        let behaviors = Behaviors::all_honest(&m);
+        let ctx = Ctx::new(&oracle, &board, &behaviors, Beacon::honest(1), &params);
+        let objects = all_objects(128);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sel = StreamingRSelect::new(&ctx);
+        let c = BitVec::zeros(128);
+        let per = (c.words().len() * 8) as u64;
+        for _ in 0..16 {
+            sel.push(&ctx, 0, c.clone(), &objects, &mut rng);
+        }
+        // A duplicate dies the moment the pair (0, j) is visited, so at
+        // most two copies are ever resident at once.
+        assert_eq!(sel.peak_bytes(), 2 * per);
+        let (won, _) = sel.finish(&ctx, 0, &objects, &mut rng);
+        assert_eq!(won, 0);
+        assert_eq!(oracle.ledger().total(), 0);
     }
 
     #[test]

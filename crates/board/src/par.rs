@@ -17,16 +17,28 @@
 //! region's own calling thread is always free, because it is either the
 //! root thread or a worker that already holds a permit). A region takes
 //! what is available without waiting, runs with `1 + taken` workers, and
-//! each worker returns its permit the moment its chunk completes, so
+//! each worker returns its permit the moment it runs out of chunks, so
 //! permits flow down the hierarchy to whatever has runnable work. Total
 //! live workers never exceed the budget, at any nesting depth, and no
 //! acquisition blocks — the pool cannot deadlock.
+//!
+//! # Chunk-level work stealing
+//!
+//! Within a region, work is not pre-assigned: items are cut into chunks
+//! (oversplit ~4× relative to the budget) and workers *claim* chunks from
+//! a shared atomic cursor. Two consequences: a straggler chunk no longer
+//! serializes the tail of the phase, and — because every worker re-checks
+//! the permit pool after each chunk — a phase that started while the pool
+//! was drained recruits extra workers the moment permits free up
+//! mid-phase, instead of staying sequential to the end. Outputs are still
+//! collected *by item index*, so the claim order never affects results.
 //!
 //! The budget defaults to all available cores and can be capped
 //! process-wide with [`set_thread_limit`] (plumbed from the bench CLI's
 //! `--threads` flag); the cap affects only speed, never results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide cap on total workers; 0 means "no cap" (use all
 /// available cores).
@@ -101,14 +113,6 @@ impl Permits {
         self.0 -= 1;
         Permits(1)
     }
-
-    /// Return every permit above `keep` to the pool immediately.
-    fn release_down_to(&mut self, keep: usize) {
-        if self.0 > keep {
-            EXTRA_WORKERS.fetch_sub(self.0 - keep, Ordering::Relaxed);
-            self.0 = keep;
-        }
-    }
 }
 
 impl Drop for Permits {
@@ -119,9 +123,89 @@ impl Drop for Permits {
     }
 }
 
+/// Chunk oversplit factor: fine phases are cut into roughly
+/// `budget × OVERSPLIT` chunks so late-joining workers have something to
+/// steal and stragglers do not serialize the tail.
+const OVERSPLIT: usize = 4;
+
+/// Smallest fine-phase chunk worth its claim overhead.
+const MIN_CHUNK: usize = 16;
+
+/// Shared state of one stealing region: a claim cursor over `n_chunks`
+/// chunks plus the per-chunk work closure. Chunks are claimed with a
+/// `fetch_add`, so each is processed exactly once, by whichever worker
+/// gets there first.
+struct Steal<'a> {
+    work: &'a (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    n_chunks: usize,
+}
+
+/// One worker: claim chunks until the cursor runs out. After finishing a
+/// chunk, if unclaimed chunks remain, try to recruit extra workers from
+/// the permit pool — permits freed by other regions *mid-phase* (the old
+/// fixed-assignment fork only looked at the pool once, at region start)
+/// are picked up here, so a phase that began while the pool was drained
+/// regains parallelism as soon as permits return.
+fn steal_worker<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    st: &'env Steal<'env>,
+) {
+    loop {
+        let c = st.next.fetch_add(1, Ordering::Relaxed);
+        if c >= st.n_chunks {
+            return;
+        }
+        (st.work)(c);
+        let claimed = st.next.load(Ordering::Relaxed);
+        if claimed < st.n_chunks {
+            let mut extra = Permits::acquire(st.n_chunks - claimed);
+            while extra.0 > 0 {
+                let permit = extra.split_one();
+                scope.spawn(move || {
+                    let _permit = permit;
+                    steal_worker(scope, st);
+                });
+            }
+        }
+    }
+}
+
+/// Run `work(c)` for every chunk `c ∈ 0..n_chunks` under the permit pool,
+/// with chunk-level stealing and mid-phase worker recruitment.
+fn run_stealing(n_chunks: usize, work: &(dyn Fn(usize) + Sync)) {
+    let shared = Steal {
+        work,
+        next: AtomicUsize::new(0),
+        n_chunks,
+    };
+    let mut permits = Permits::acquire(n_chunks.saturating_sub(1));
+    std::thread::scope(|scope| {
+        // Each worker carries its own permit and frees it on exit, so
+        // siblings (or nested phases) can pick it up before the whole
+        // region joins.
+        while permits.0 > 0 {
+            let permit = permits.split_one();
+            let shared = &shared;
+            scope.spawn(move || {
+                let _permit = permit;
+                steal_worker(scope, shared);
+            });
+        }
+        // The calling thread is always a worker (it holds no permit).
+        steal_worker(scope, &shared);
+    });
+}
+
+/// Chunk size for a fine region of `n` items: oversplit relative to the
+/// whole budget so work can migrate, but never below [`MIN_CHUNK`].
+fn fine_chunk(n: usize) -> usize {
+    n.div_ceil(budget() * OVERSPLIT).max(MIN_CHUNK)
+}
+
 /// Shared fork: run `f` over `0..n`, order-collected. `coarse` regions
 /// skip the tiny-phase sequential cutoff (whole protocol runs are worth a
-/// thread each even at 2 items).
+/// thread each even at 2 items) and use single-item chunks.
 fn par_run<T, F>(n: usize, coarse: bool, f: F) -> Vec<T>
 where
     T: Send,
@@ -133,41 +217,57 @@ where
     if !coarse && n < SEQ_CUTOFF {
         return (0..n).map(f).collect();
     }
-    let mut permits = Permits::acquire(n - 1);
-    let threads = permits.0 + 1;
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    // Chunk rounding can leave fewer chunks than acquired workers
-    // (e.g. n=100, threads=32 ⇒ chunk=4 ⇒ 25 chunks): hand the surplus
-    // permits back now rather than hold them idle for the whole region.
-    permits.release_down_to(n.div_ceil(chunk) - 1);
+    let chunk = if coarse { 1 } else { fine_chunk(n) };
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let (first, rest) = out.split_at_mut(chunk.min(n));
-        for (t, slot_chunk) in rest.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let start = (t + 1) * chunk;
-            // Each worker carries its own permit and frees it on exit, so
-            // siblings (or nested phases) can pick it up before the whole
-            // region joins.
-            let permit = permits.split_one();
-            scope.spawn(move || {
-                let _permit = permit;
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(start + i));
-                }
-            });
+    // Chunks are claimed uniquely via the cursor, so each Mutex is locked
+    // exactly once and never contended — it exists to hand the disjoint
+    // output slices across threads safely.
+    let slots: Vec<Mutex<&mut [Option<T>]>> = out.chunks_mut(chunk).map(Mutex::new).collect();
+    let work = |c: usize| {
+        let start = c * chunk;
+        let mut slice = slots[c].lock().expect("chunk mutex");
+        for (i, slot) in slice.iter_mut().enumerate() {
+            *slot = Some(f(start + i));
         }
-        // The calling thread works the first chunk itself.
-        for (i, slot) in first.iter_mut().enumerate() {
-            *slot = Some(f(i));
-        }
-    });
+    };
+    run_stealing(slots.len(), &work);
+    drop(slots);
     out.into_iter()
         .map(|s| s.expect("worker filled slot"))
         .collect()
+}
+
+/// Mutate every item of `items` in place, in parallel: `f(i, &mut
+/// items[i])`, called exactly once per item. The in-place sibling of
+/// [`par_map_items`] for phases that advance per-player state (the fused
+/// `RSelect` tournaments) instead of producing fresh vectors. Same
+/// determinism contract: items are partitioned by index, so results never
+/// depend on the worker count.
+pub fn par_update_items<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    if n < SEQ_CUTOFF {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = fine_chunk(n);
+    let slots: Vec<Mutex<&mut [T]>> = items.chunks_mut(chunk).map(Mutex::new).collect();
+    let work = |c: usize| {
+        let start = c * chunk;
+        let mut slice = slots[c].lock().expect("chunk mutex");
+        for (i, item) in slice.iter_mut().enumerate() {
+            f(start + i, item);
+        }
+    };
+    run_stealing(slots.len(), &work);
 }
 
 /// Apply `f` to every player index in `0..n`, in parallel, returning results
@@ -272,6 +372,36 @@ mod tests {
             .map(|&i| (0..100).map(|p| p * i).sum::<usize>())
             .collect();
         assert_eq!(nested, flat);
+    }
+
+    #[test]
+    fn par_update_items_mutates_in_place_once_each() {
+        let mut items: Vec<usize> = (0..1000).collect();
+        let calls = AtomicUsize::new(0);
+        par_update_items(&mut items, |i, v| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *v += i;
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, 2 * i);
+        }
+        // Tiny inputs take the sequential path.
+        let mut small = vec![7usize; 3];
+        par_update_items(&mut small, |i, v| *v += i);
+        assert_eq!(small, vec![7, 8, 9]);
+        par_update_items(&mut [] as &mut [usize], |_, _: &mut usize| {});
+    }
+
+    #[test]
+    fn stealing_covers_every_chunk_exactly_once() {
+        // More chunks than any plausible worker count: the claim cursor
+        // must hand out each chunk once no matter who processes it.
+        let n = 10_000;
+        let out = par_map_players(n, |p| p ^ 0x5a);
+        for (p, v) in out.iter().enumerate() {
+            assert_eq!(*v, p ^ 0x5a);
+        }
     }
 
     #[test]

@@ -18,17 +18,36 @@
 
 use byzscore_adversary::Phase;
 use byzscore_bitset::{BitVec, ColumnCounter};
-use byzscore_blocks::{rselect, Ctx};
+use byzscore_blocks::Ctx;
 use byzscore_board::par::par_map_players;
 use byzscore_model::Planted;
 use byzscore_random::{choose_k, tags};
 
-use crate::cluster::{cluster_players_with, Clustering};
+use crate::cluster::{Clustering, GroupCache, WarmStart};
+use crate::fused::FusedSelect;
 use crate::share::share_work;
 use crate::ProtocolParams;
 
 /// §6.2's "natural approach" / prior-art proxy (see module docs).
 pub fn naive_sampling(ctx: &Ctx<'_>, params: &ProtocolParams) -> Vec<BitVec> {
+    naive_sampling_with(ctx, params, None)
+}
+
+/// [`naive_sampling`] with an optional cross-round [`WarmStart`] slot.
+///
+/// Unlike Figure 2, the naive sample `R` is drawn **once** — the z-vectors
+/// are the same for every diameter guess, only the edge threshold `τ`
+/// changes. So hash-grouping is done once in a [`GroupCache`] and each
+/// guess merely re-bands the group representatives for its `τ`, instead of
+/// redoing the full `n`-row discovery `guesses` times. With `warm` set
+/// (the `DynamicWorld` round loop), the previous round's cache is refreshed
+/// against the new z-vectors — rows whose bits did not change keep their
+/// cached hash — and handed back for the next round.
+pub fn naive_sampling_with(
+    ctx: &Ctx<'_>,
+    params: &ProtocolParams,
+    warm: Option<&WarmStart>,
+) -> Vec<BitVec> {
     let n = ctx.n();
     let m = ctx.oracle.objects();
     let b = params.budget();
@@ -50,33 +69,37 @@ pub fn naive_sampling(ctx: &Ctx<'_>, params: &ProtocolParams) -> Vec<BitVec> {
         }
     });
 
+    // Group the z-vectors ONCE — they are guess-invariant (see above).
+    // Warm path: refresh last round's cache instead of regrouping cold.
+    let (cache, reused) = match warm.and_then(|w| w.take(params.neighbor_strategy)) {
+        Some(mut cache) if cache.n() == n => {
+            let reused = cache.refresh(&zvecs);
+            (cache, reused)
+        }
+        _ => (GroupCache::build(&zvecs, params.neighbor_strategy), 0),
+    };
+
     // Doubling diameter guesses on raw sample distances; share work with
-    // NO redundancy (prior art's non-robust sharing).
+    // NO redundancy (prior art's non-robust sharing). Each guess's
+    // candidate streams straight into the per-player RSelect tournaments,
+    // so only surviving candidates stay resident.
     let min_cluster = params.peel_min_size(n);
-    let mut candidates: Vec<Vec<BitVec>> = vec![Vec::new(); n];
+    let all_objects: Vec<u32> = (0..m as u32).collect();
+    let mut fused = FusedSelect::new(ctx, &[0x7a1e]);
     for (di, &diameter) in params.diameter_guesses(n, m).iter().enumerate() {
         // Expected sample distance of a D-pair is |R|·D/m; edge at 3×.
         let tau = ((3.0 * sample.len() as f64 * diameter as f64 / m as f64).ceil() as usize).max(1);
-        let clustering = cluster_players_with(&zvecs, tau, min_cluster, params.neighbor_strategy);
+        let clustering = cache.cluster(tau, min_cluster);
         let w_d = share_work(ctx, &clustering, m, 1, &[0x7a1e, di as u64], false);
-        for (p, w) in w_d.into_iter().enumerate() {
-            candidates[p].push(w);
-        }
-        // This guess's vote record is dead once its candidate is extracted.
+        fused.absorb(ctx, w_d, &all_objects);
+        // This guess's vote record is dead once its candidate is absorbed.
         ctx.board.retire_prefix(&[0x7a1e, di as u64]);
     }
 
-    let all_objects: Vec<u32> = (0..m as u32).collect();
-    par_map_players(n, |p| {
-        let p32 = p as u32;
-        if ctx.behaviors.is_dishonest(p32) {
-            ctx.behaviors.vector_claim(Phase::Other, p32, &all_objects)
-        } else {
-            let mut rng = ctx.player_rng(p32, &[0x7a1e]);
-            let won = rselect(ctx, p32, &candidates[p], &all_objects, &mut rng);
-            candidates[p][won].clone()
-        }
-    })
+    if let Some(w) = warm {
+        w.put(cache, reused);
+    }
+    fused.finish(ctx, &all_objects)
 }
 
 /// No collaboration beyond a public pool of probe results.

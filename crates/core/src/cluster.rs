@@ -48,6 +48,7 @@
 //! bands").
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use byzscore_bitset::{BitMatrix, BitVec, Bits};
 use byzscore_board::par::par_map_players;
@@ -301,11 +302,12 @@ impl PopFilter {
 /// only on the groups of `p` and `q` — the Lemma-8 edge set is exactly
 /// "same group, or groups whose representatives are within `τ`".
 struct Groups {
-    /// Player → group id (ids in order of first appearance).
-    group_of: Vec<u32>,
+    /// Player → group id (ids in order of first appearance). Shared so a
+    /// [`GroupCache`] can reuse one grouping across every diameter guess.
+    group_of: Arc<Vec<u32>>,
     /// Group member lists, each ascending; `members[g][0]` is the
     /// representative (and the group's smallest player index).
-    members: Vec<Vec<u32>>,
+    members: Arc<Vec<Vec<u32>>>,
     /// Index over the representative vectors, same threshold. Never
     /// `Grouped` itself (groups are distinct by construction).
     inner: Box<NeighborIndex>,
@@ -332,13 +334,26 @@ fn banded_mode(rows: &BitMatrix, threshold: usize) -> Mode {
 /// Group players by bit-identical rows: hash-bucket candidates, confirm
 /// with exact word comparison so hash collisions cannot merge groups.
 fn group_players(rows: &BitMatrix) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let hashes: Vec<u64> = (0..rows.rows())
+        .map(|p| rows.row(p).content_hash())
+        .collect();
+    group_players_hashed(rows, &hashes)
+}
+
+/// [`group_players`] with the per-row content hashes supplied by the
+/// caller — the [`GroupCache`] refresh path reuses hashes of rows that
+/// did not change since the previous round, so only changed rows pay the
+/// hash pass. The bucket assembly is identical either way, so the
+/// resulting grouping (ids in first-appearance order) is bit-identical to
+/// a fresh [`group_players`] run.
+fn group_players_hashed(rows: &BitMatrix, hashes: &[u64]) -> (Vec<u32>, Vec<Vec<u32>>) {
     let n = rows.rows();
     let mut by_hash: HashMap<u64, Vec<u32>> = HashMap::new();
     let mut group_of = Vec::with_capacity(n);
     let mut members: Vec<Vec<u32>> = Vec::new();
-    for p in 0..n {
+    for (p, &hash) in hashes.iter().enumerate().take(n) {
         let row = rows.row(p);
-        let ids = by_hash.entry(row.content_hash()).or_default();
+        let ids = by_hash.entry(hash).or_default();
         let gid = ids
             .iter()
             .copied()
@@ -418,16 +433,59 @@ fn popcount_range(words: &[u64], start: usize, end: usize) -> usize {
 /// `(p, q) ⇔ |z(p) − z(q)| ≤ threshold`, queryable without materializing
 /// adjacency (see module docs for the strategies).
 pub struct NeighborIndex {
-    rows: BitMatrix,
+    rows: Arc<BitMatrix>,
     threshold: usize,
     mode: Mode,
+}
+
+/// One grouping pass, packaged for reuse: the shared player→group map and
+/// member lists plus the representative rows already packed into a matrix
+/// (what the per-`τ` inner index is built over).
+struct CachedGroups {
+    group_of: Arc<Vec<u32>>,
+    members: Arc<Vec<Vec<u32>>>,
+    rep_rows: Arc<BitMatrix>,
+}
+
+impl CachedGroups {
+    fn from_grouping(rows: &BitMatrix, group_of: Vec<u32>, members: Vec<Vec<u32>>) -> CachedGroups {
+        let reps: Vec<BitVec> = members
+            .iter()
+            .map(|m| rows.row(m[0] as usize).to_bitvec())
+            .collect();
+        CachedGroups {
+            group_of: Arc::new(group_of),
+            members: Arc::new(members),
+            rep_rows: Arc::new(BitMatrix::from_rows(&reps)),
+        }
+    }
 }
 
 impl NeighborIndex {
     /// Build an index over `zvecs` (equal-length sample vectors) for the
     /// given edge `threshold`.
     pub fn build(zvecs: &[BitVec], threshold: usize, strategy: NeighborStrategy) -> NeighborIndex {
-        let rows = BitMatrix::from_rows(zvecs);
+        Self::build_shared(
+            Arc::new(BitMatrix::from_rows(zvecs)),
+            threshold,
+            strategy,
+            None,
+        )
+    }
+
+    /// Core constructor over an already-packed (and possibly shared) row
+    /// matrix. When `cached` grouping is supplied (by a [`GroupCache`]),
+    /// the grouped path skips `group_players` and reuses the cached
+    /// representative matrix; every decision point (complete-graph
+    /// shortcut, `Auto` size cut, weak-collapse fallback, inner-strategy
+    /// pick) is evaluated exactly as the uncached build would, so the
+    /// resulting index is indistinguishable from a fresh one.
+    fn build_shared(
+        rows: Arc<BitMatrix>,
+        threshold: usize,
+        strategy: NeighborStrategy,
+        cached: Option<&CachedGroups>,
+    ) -> NeighborIndex {
         let len = rows.cols();
         let n = rows.rows();
         let mode = if threshold >= len {
@@ -439,31 +497,49 @@ impl NeighborIndex {
                     Mode::Materialized(materialize(&rows, threshold))
                 }
                 NeighborStrategy::Auto | NeighborStrategy::Grouped => {
-                    let (group_of, members) = group_players(&rows);
-                    // Weak collapse (G ≈ n) means grouping buys almost no
-                    // pruning but would pay a duplicated representative
-                    // matrix and per-query indirection — band the players
-                    // directly instead, exactly as `Banded` would.
-                    if members.len() * 8 > n * 7 {
+                    let owned;
+                    let groups = match cached {
+                        Some(c) => c,
+                        None => {
+                            let (group_of, members) = group_players(&rows);
+                            // Weak collapse (G ≈ n) means grouping buys
+                            // almost no pruning but would pay a duplicated
+                            // representative matrix and per-query
+                            // indirection — band the players directly
+                            // instead, exactly as `Banded` would.
+                            if members.len() * 8 > n * 7 {
+                                return NeighborIndex {
+                                    mode: banded_mode(&rows, threshold),
+                                    rows,
+                                    threshold,
+                                };
+                            }
+                            owned = CachedGroups::from_grouping(&rows, group_of, members);
+                            &owned
+                        }
+                    };
+                    // Cached groupings re-evaluate the same fallback so a
+                    // cache hit can never pick a different mode.
+                    if groups.members.len() * 8 > n * 7 {
                         banded_mode(&rows, threshold)
                     } else {
-                        let reps: Vec<BitVec> = members
-                            .iter()
-                            .map(|m| rows.row(m[0] as usize).to_bitvec())
-                            .collect();
                         // Groups are pairwise distinct, so re-grouping
                         // cannot help: the inner index picks exact or
                         // banded by size.
-                        let inner_strategy = if reps.len() <= AUTO_EXACT_MAX {
+                        let inner_strategy = if groups.members.len() <= AUTO_EXACT_MAX {
                             NeighborStrategy::Exact
                         } else {
                             NeighborStrategy::Banded
                         };
-                        let inner =
-                            Box::new(NeighborIndex::build(&reps, threshold, inner_strategy));
+                        let inner = Box::new(NeighborIndex::build_shared(
+                            groups.rep_rows.clone(),
+                            threshold,
+                            inner_strategy,
+                            None,
+                        ));
                         Mode::Grouped(Groups {
-                            group_of,
-                            members,
+                            group_of: groups.group_of.clone(),
+                            members: groups.members.clone(),
                             inner,
                         })
                     }
@@ -1053,6 +1129,188 @@ pub fn cluster_players_with(
 /// ([`NeighborStrategy::Auto`]) strategy.
 pub fn cluster_players(zvecs: &[BitVec], threshold: usize, min_size: usize) -> Clustering {
     cluster_players_with(zvecs, threshold, min_size, NeighborStrategy::Auto)
+}
+
+/// Cross-guess reusable neighbor-discovery state.
+///
+/// The diameter-guess loop of `naive_sampling` rebuilds discovery from
+/// scratch for every guess even though the z-vectors are *identical*
+/// across guesses — only the edge threshold `τ` changes. Everything
+/// `τ`-independent is computed once here: the packed row matrix and (for
+/// the grouped strategies) the bit-identical-vector grouping plus the
+/// representative matrix. [`GroupCache::index`] then builds a per-`τ`
+/// [`NeighborIndex`] that only re-bands the representatives and re-runs
+/// verify/peel — the cheap part — while sharing the cached structure.
+///
+/// Equivalence contract (pinned by the `tests/neighbor_index.rs`
+/// proptests): for every `τ` and every strategy,
+/// `cache.index(τ)` produces the same edge set, degrees, and peel output
+/// as `NeighborIndex::build(&zvecs, τ, strategy)`.
+///
+/// [`GroupCache::refresh`] supports warm starts across `DynamicWorld`
+/// rounds: rows that did not change since the previous round reuse their
+/// cached content hash (the grouping pass itself reruns — group ids are
+/// assigned in first-appearance order, so any changed row can shift them
+/// and a partial regroup could diverge from a fresh build). Round beacons
+/// reseed the public sample every round, so in practice most rows *do*
+/// change and the honest win is bounded; the mechanism exists for drifts
+/// that leave the sample fixed (see DESIGN.md §4.12).
+pub struct GroupCache {
+    rows: Arc<BitMatrix>,
+    strategy: NeighborStrategy,
+    /// Per-row content hashes; populated iff `grouping` is.
+    row_hashes: Vec<u64>,
+    grouping: Option<CachedGroups>,
+}
+
+impl GroupCache {
+    /// Pack `zvecs` once and precompute whatever the strategy can reuse
+    /// across thresholds.
+    pub fn build(zvecs: &[BitVec], strategy: NeighborStrategy) -> GroupCache {
+        let rows = Arc::new(BitMatrix::from_rows(zvecs));
+        let mut cache = GroupCache {
+            rows,
+            strategy,
+            row_hashes: Vec::new(),
+            grouping: None,
+        };
+        cache.regroup();
+        cache
+    }
+
+    /// True when this strategy/shape takes the grouped discovery path
+    /// (`Grouped`, or `Auto` above the exact-materialization cut) — the
+    /// only case with `τ`-independent structure beyond the row matrix.
+    fn wants_grouping(&self) -> bool {
+        match self.strategy {
+            NeighborStrategy::Grouped => true,
+            NeighborStrategy::Auto => self.rows.rows() > AUTO_EXACT_MAX,
+            NeighborStrategy::Exact | NeighborStrategy::Banded => false,
+        }
+    }
+
+    fn regroup(&mut self) {
+        if !self.wants_grouping() {
+            self.row_hashes.clear();
+            self.grouping = None;
+            return;
+        }
+        if self.row_hashes.is_empty() {
+            self.row_hashes = (0..self.rows.rows())
+                .map(|p| self.rows.row(p).content_hash())
+                .collect();
+        }
+        let (group_of, members) = group_players_hashed(&self.rows, &self.row_hashes);
+        self.grouping = Some(CachedGroups::from_grouping(&self.rows, group_of, members));
+    }
+
+    /// Number of players cached.
+    pub fn n(&self) -> usize {
+        self.rows.rows()
+    }
+
+    /// The strategy this cache was built for.
+    pub fn strategy(&self) -> NeighborStrategy {
+        self.strategy
+    }
+
+    /// Distinct z-vector groups, when the grouped path applies.
+    pub fn group_count(&self) -> Option<usize> {
+        self.grouping.as_ref().map(|g| g.members.len())
+    }
+
+    /// Build the per-threshold index, sharing every cached `τ`-independent
+    /// piece. Equivalent to `NeighborIndex::build` over the original
+    /// vectors (see the type docs for the contract).
+    pub fn index(&self, threshold: usize) -> NeighborIndex {
+        NeighborIndex::build_shared(
+            self.rows.clone(),
+            threshold,
+            self.strategy,
+            self.grouping.as_ref(),
+        )
+    }
+
+    /// Discovery + peel for one guess: `self.index(threshold).peel(..)`.
+    pub fn cluster(&self, threshold: usize, min_size: usize) -> Clustering {
+        self.index(threshold).peel(min_size)
+    }
+
+    /// Warm-start the cache on next-round vectors: rows bit-identical to
+    /// the cached ones keep their content hash (skipping the hash pass),
+    /// changed rows are re-hashed, and the grouping is rebuilt from the
+    /// combined hashes — bit-identical to a cold [`GroupCache::build`] on
+    /// `zvecs`. Returns the number of unchanged rows.
+    pub fn refresh(&mut self, zvecs: &[BitVec]) -> usize {
+        let new_rows = BitMatrix::from_rows(zvecs);
+        let mut unchanged = 0usize;
+        if self.wants_grouping() && !self.row_hashes.is_empty() {
+            let old = &self.rows;
+            let comparable = old.rows().min(new_rows.rows());
+            let mut hashes = Vec::with_capacity(new_rows.rows());
+            for p in 0..new_rows.rows() {
+                let row = new_rows.row(p);
+                if p < comparable && row.bits_eq(&old.row(p)) {
+                    unchanged += 1;
+                    hashes.push(self.row_hashes[p]);
+                } else {
+                    hashes.push(row.content_hash());
+                }
+            }
+            self.row_hashes = hashes;
+        } else {
+            self.row_hashes.clear();
+        }
+        self.rows = Arc::new(new_rows);
+        self.regroup();
+        unchanged
+    }
+}
+
+/// A hand-off slot that carries a [`GroupCache`] across protocol runs —
+/// the `DynamicWorld` warm-start mechanism. The world builds one
+/// `WarmStart`, each round's `naive_sampling` takes the previous round's
+/// cache out, [`GroupCache::refresh`]es it on the new z-vectors, uses it
+/// for every diameter guess, and puts it back. Interior mutability keeps
+/// the algorithm signatures immutable; the slot is only ever touched at
+/// round boundaries (rounds are sequential), so the mutex is uncontended.
+#[derive(Default)]
+pub struct WarmStart {
+    slot: std::sync::Mutex<Option<GroupCache>>,
+    reused_rows: std::sync::atomic::AtomicUsize,
+}
+
+impl WarmStart {
+    /// Empty slot: the first round builds cold.
+    pub fn new() -> WarmStart {
+        WarmStart::default()
+    }
+
+    /// Take the carried cache if it matches `strategy` (a mismatched one
+    /// is dropped — refreshing it would change discovery modes).
+    pub(crate) fn take(&self, strategy: NeighborStrategy) -> Option<GroupCache> {
+        let mut slot = self.slot.lock().expect("warm-start slot");
+        match slot.take() {
+            Some(c) if c.strategy() == strategy => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Store the cache for the next round and record how many rows the
+    /// refresh reused (0 for a cold build).
+    pub(crate) fn put(&self, cache: GroupCache, reused: usize) {
+        self.reused_rows
+            .store(reused, std::sync::atomic::Ordering::Relaxed);
+        *self.slot.lock().expect("warm-start slot") = Some(cache);
+    }
+
+    /// Rows whose cached hash survived the most recent refresh —
+    /// observability for experiments and tests (round beacons reseed the
+    /// sample each round, so this is usually small; it grows only when
+    /// drift leaves the sampled coordinates untouched).
+    pub fn last_reused_rows(&self) -> usize {
+        self.reused_rows.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

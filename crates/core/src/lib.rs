@@ -76,6 +76,7 @@
 pub mod baseline;
 pub mod cluster;
 pub mod dynamic;
+mod fused;
 pub mod graded;
 mod params;
 mod protocol;
@@ -88,7 +89,7 @@ pub use byzscore_board::{
     ClusterSpec, DenseTruth, DriftLocality, DriftSchedule, DriftingTruth, ProceduralTruth,
     RemappedTruth, TruthSource,
 };
-pub use cluster::{NeighborIndex, NeighborStrategy};
+pub use cluster::{GroupCache, NeighborIndex, NeighborStrategy, WarmStart};
 pub use dynamic::{ChurnSchedule, DynamicOutcome, DynamicWorld, DynamicWorldBuilder, RoundReport};
 pub use params::ProtocolParams;
 pub use protocol::calculate_preferences;

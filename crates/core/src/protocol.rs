@@ -1,12 +1,11 @@
 //! `CalculatePreferences` — **Figure 2**, the paper's main protocol (§6).
 
-use byzscore_adversary::Phase;
 use byzscore_bitset::BitVec;
-use byzscore_blocks::{rselect, small_radius, Ctx};
-use byzscore_board::par::par_map_players;
+use byzscore_blocks::{small_radius, Ctx};
 use byzscore_random::Provenance;
 
 use crate::cluster::cluster_players_with;
+use crate::fused::FusedSelect;
 use crate::sampling::choose_sample;
 use crate::share::share_work;
 use crate::ProtocolParams;
@@ -47,8 +46,14 @@ pub fn calculate_preferences(
     let reps = params.probe_reps(n);
     let players: Vec<u32> = (0..n as u32).collect();
 
-    // Step 1: one candidate per diameter guess.
-    let mut candidates: Vec<Vec<BitVec>> = vec![Vec::with_capacity(guesses.len()); n];
+    // Step 1: one candidate per diameter guess, fed straight into the
+    // per-player streaming RSelect (step 2) so only surviving candidates
+    // stay resident — the batch path kept all `guesses` of them. The
+    // sample is redrawn per guess (diameter-tagged beacon stream), so the
+    // z-vectors change and the cross-guess `GroupCache` does not apply
+    // here — see `naive_sampling` for the invariant-z case.
+    let all_objects: Vec<u32> = (0..m as u32).collect();
+    let mut fused = FusedSelect::new(ctx, &[CALC_TAG, scope_path.first().copied().unwrap_or(0)]);
     for (di, &diameter) in guesses.iter().enumerate() {
         let mut path = Vec::with_capacity(scope_path.len() + 2);
         path.extend_from_slice(scope_path);
@@ -73,32 +78,22 @@ pub fn calculate_preferences(
         let clustering =
             cluster_players_with(&z, edge_threshold, min_cluster, params.neighbor_strategy);
 
-        // 1.e: redundant probing with majority votes.
+        // 1.e: redundant probing with majority votes, streamed into the
+        // step-2 tournaments.
         let w_d = share_work(ctx, &clustering, m, reps, &path, sabotaged);
-        for (p, w) in w_d.into_iter().enumerate() {
-            candidates[p].push(w);
-        }
+        fused.absorb(ctx, w_d, &all_objects);
 
         // Everything this guess posted (SmallRadius vectors, work-sharing
-        // claims) is consumed: the candidates live in memory and step 2's
-        // RSelect only probes. Retiring keeps the board's live set at one
-        // diameter guess instead of accumulating all of them per run.
+        // claims) is consumed: the surviving candidates live in memory and
+        // step 2's RSelect only probes. Retiring keeps the board's live
+        // set at one diameter guess instead of accumulating all of them
+        // per run.
         ctx.board.retire_prefix(&path);
     }
 
-    // Step 2: per-player RSelect across the diameter guesses.
-    let all_objects: Vec<u32> = (0..m as u32).collect();
-    par_map_players(n, |p| {
-        let p32 = p as u32;
-        if ctx.behaviors.is_dishonest(p32) {
-            ctx.behaviors.vector_claim(Phase::Other, p32, &all_objects)
-        } else {
-            let mut rng =
-                ctx.player_rng(p32, &[CALC_TAG, scope_path.first().copied().unwrap_or(0)]);
-            let won = rselect(ctx, p32, &candidates[p], &all_objects, &mut rng);
-            candidates[p][won].clone()
-        }
-    })
+    // Step 2 epilogue: close the per-player tournaments (honest winners
+    // and dishonest vector claims, exactly as the batch RSelect ended).
+    fused.finish(ctx, &all_objects)
 }
 
 #[cfg(test)]

@@ -10,13 +10,12 @@
 //! player's final `RSelect` over the repetition candidates discards the
 //! sabotaged ones.
 
-use byzscore_adversary::Phase;
 use byzscore_bitset::BitVec;
-use byzscore_blocks::{rselect, Ctx};
-use byzscore_board::par::par_map_players;
+use byzscore_blocks::Ctx;
 use byzscore_election::{elect, BinStrategy, ElectionParams};
 use byzscore_random::{derive_seed, tags, Beacon};
 
+use crate::fused::FusedSelect;
 use crate::protocol::calculate_preferences;
 use crate::ProtocolParams;
 
@@ -55,7 +54,11 @@ pub fn robust_calculate_preferences(
     let dishonest_mask = ctx.behaviors.dishonest_mask();
 
     let mut logs = Vec::with_capacity(reps);
-    let mut candidates: Vec<Vec<BitVec>> = vec![Vec::with_capacity(reps); n];
+    // Final-RSelect tournaments run fused with the repetition loop: each
+    // repetition's candidates are pushed the moment they exist, so only
+    // surviving candidates stay resident instead of all `reps` of them.
+    let all_objects: Vec<u32> = (0..m as u32).collect();
+    let mut fused = FusedSelect::new(ctx, &[0x0b57, 0xf1aa1]);
 
     for r in 0..reps {
         // §7.1: elect a leader (full information, rushing adversary).
@@ -87,9 +90,7 @@ pub fn robust_calculate_preferences(
 
         let rep_ctx = ctx.with_beacon(beacon);
         let w_r = calculate_preferences(&rep_ctx, params, &[0x0b57, r as u64]);
-        for (p, w) in w_r.into_iter().enumerate() {
-            candidates[p].push(w);
-        }
+        fused.absorb(ctx, w_r, &all_objects);
 
         // Release any remaining posts of this repetition (the per-diameter
         // retirement inside `calculate_preferences` catches almost all of
@@ -100,17 +101,7 @@ pub fn robust_calculate_preferences(
     // Final RSelect across repetitions ("the players then execute RSelect
     // to choose the best vector"). Run under the master context — RSelect
     // is local and needs no shared randomness (§7.1).
-    let all_objects: Vec<u32> = (0..m as u32).collect();
-    let out = par_map_players(n, |p| {
-        let p32 = p as u32;
-        if ctx.behaviors.is_dishonest(p32) {
-            ctx.behaviors.vector_claim(Phase::Other, p32, &all_objects)
-        } else {
-            let mut rng = ctx.player_rng(p32, &[0x0b57, 0xf1aa1]);
-            let won = rselect(ctx, p32, &candidates[p], &all_objects, &mut rng);
-            candidates[p][won].clone()
-        }
-    });
+    let out = fused.finish(ctx, &all_objects);
     (out, logs)
 }
 

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use byzscore_adversary::{Behaviors, Corruption, Strategy, Truthful};
 use byzscore_bitset::{BitMatrix, Bits};
-use byzscore_blocks::Ctx;
+use byzscore_blocks::{CandidateMeter, Ctx};
 use byzscore_board::par::par_map_coarse;
 use byzscore_board::{
     Board, BoardStats, ClusterSpec, DenseTruth, IntoTruthSource, LedgerSnapshot, Oracle,
@@ -18,6 +18,7 @@ use byzscore_model::metrics::ErrorReport;
 use byzscore_model::{Instance, Planted};
 use byzscore_random::Beacon;
 
+use crate::cluster::WarmStart;
 use crate::robust::RepetitionLog;
 use crate::{baseline, calculate_preferences, robust_calculate_preferences, ProtocolParams};
 
@@ -103,6 +104,12 @@ pub struct Outcome {
     pub repetitions: Vec<RepetitionLog>,
     /// Number of dishonest players in the run.
     pub dishonest_count: usize,
+    /// Peak resident candidate bytes across all per-player streaming
+    /// `RSelect` tournaments (sum of deterministic per-player peaks).
+    /// Zero for algorithms with no tournament (solo, majorities,
+    /// skylines, `DirectSmallRadius`). Before guess-loop fusion this
+    /// residency scaled with `n × guesses × m`; fused it is near `n × m`.
+    pub peak_candidate_bytes: u64,
 }
 
 impl Outcome {
@@ -179,6 +186,7 @@ pub struct Session {
     strategy: Arc<dyn Strategy>,
     election_adversary: Arc<dyn BinStrategy>,
     sink: OutputSink,
+    warm: Option<Arc<WarmStart>>,
 }
 
 impl Session {
@@ -192,6 +200,7 @@ impl Session {
             strategy: None,
             election_adversary: None,
             sink: OutputSink::Dense,
+            warm: None,
         }
     }
 
@@ -228,13 +237,15 @@ impl Session {
         let behaviors = Behaviors::new(self.truth.as_ref(), dishonest, self.strategy.as_ref());
         let oracle = Oracle::new(self.truth.clone());
         let board = Board::new();
+        let meter = CandidateMeter::new();
         let ctx = Ctx::new(
             &oracle,
             &board,
             &behaviors,
             Beacon::honest(seed),
             &self.params.blocks,
-        );
+        )
+        .with_meter(&meter);
 
         let start = Instant::now();
         let mut repetitions = Vec::new();
@@ -249,7 +260,9 @@ impl Session {
                 repetitions = logs;
                 rows
             }
-            Algorithm::NaiveSampling => baseline::naive_sampling(&ctx, &self.params),
+            Algorithm::NaiveSampling => {
+                baseline::naive_sampling_with(&ctx, &self.params, self.warm.as_deref())
+            }
             Algorithm::Solo => baseline::solo(&ctx, &self.params),
             Algorithm::GlobalMajority => baseline::global_majority(&ctx, &self.params),
             Algorithm::OracleClusters => {
@@ -304,6 +317,7 @@ impl Session {
             elapsed,
             repetitions,
             dishonest_count: behaviors.dishonest_count(),
+            peak_candidate_bytes: meter.peak_bytes(),
         }
     }
 
@@ -330,6 +344,7 @@ pub struct SessionBuilder {
     strategy: Option<Arc<dyn Strategy>>,
     election_adversary: Option<Arc<dyn BinStrategy>>,
     sink: OutputSink,
+    warm: Option<Arc<WarmStart>>,
 }
 
 impl SessionBuilder {
@@ -419,6 +434,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Attach a shared [`WarmStart`] slot: `NaiveSampling` runs take the
+    /// previous run's group cache, refresh it against the new z-vectors,
+    /// and put it back. Used by [`crate::DynamicWorld`] to carry the
+    /// survivor group graph across rounds; leave unset for independent
+    /// runs (a sweep sharing one slot across concurrent points would make
+    /// cache hand-offs racy — warm starts are for *sequential* rounds).
+    pub fn warm_start(mut self, warm: Arc<WarmStart>) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
     /// Finish. Panics if no truth source was supplied.
     pub fn build(self) -> Session {
         let truth = self
@@ -438,6 +464,7 @@ impl SessionBuilder {
                 .election_adversary
                 .unwrap_or_else(|| Arc::new(GreedyInfiltrate) as Arc<dyn BinStrategy>),
             sink: self.sink,
+            warm: self.warm,
         }
     }
 }

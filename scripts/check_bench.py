@@ -52,7 +52,15 @@ REL_TOL = 1e-6
 # substrings of the column header (first match wins, checked in order).
 # Deterministic columns deliberately get none — add entries here (or pass
 # --tol) only for columns that are genuinely host-dependent.
-COLUMN_TOLERANCES: list[tuple[str, float]] = []
+#
+# "peak candidate bytes" (e13) is the summed per-player peak residency of
+# the streaming RSelect tournaments — a pure function of the seeds, pinned
+# bit-identical across thread counts by tests/determinism.rs — so it gates
+# EXACTLY (0.0 tolerance, listed explicitly so nobody mistakes a memory
+# column for a host-dependent one and widens it).
+COLUMN_TOLERANCES: list[tuple[str, float]] = [
+    ("peak candidate bytes", 0.0),
+]
 
 TIMING_MARKERS = ("elapsed", " ms", "seconds")
 
@@ -366,6 +374,18 @@ def self_test():
     fails, _, _ = compare_docs(base_s, doc([["64", "bad", "10"]]))
     assert len(fails) == 1, fails
 
+    # The memory column gates exactly: its built-in 0.0 tolerance beats the
+    # default REL_TOL slack, so even sub-REL_TOL drift in peak candidate
+    # bytes fails (residency is deterministic; any drift is a real change).
+    mem_headers = ("n", "peak candidate bytes", "elapsed ms")
+    mem_base = doc([["1000", "1048576", "10"]], headers=mem_headers)
+    fails, _, _ = compare_docs(mem_base, doc([["1000", "1048576", "99"]], headers=mem_headers))
+    assert not fails, fails
+    fails, _, _ = compare_docs(
+        mem_base, doc([["1000", "1048576.001", "10"]], headers=mem_headers)
+    )
+    assert len(fails) == 1 and "peak candidate bytes" in fails[0], fails
+
     # New tables are reported as notes, not failures.
     extra = doc([["64", "3.00", "10"], ["128", "5.00", "20"]])
     extra["experiments"].append(
@@ -432,7 +452,7 @@ def self_test():
     assert "scale=full" in text and "e13" in text, text
     assert any("total" in line and "401.500" in line for line in summary), summary
 
-    print("check_bench self-test OK (14 scenarios)")
+    print("check_bench self-test OK (15 scenarios)")
 
 
 if __name__ == "__main__":

@@ -245,6 +245,63 @@ fn run_sweep_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn fused_rselect_is_bit_identical_across_thread_counts() {
+    // The streaming RSelect tournaments advance inside the guess loop and
+    // record per-player peak candidate residency; both the outputs and the
+    // summed `peak_candidate_bytes` must be bit-identical under 1, 2, and
+    // 8 worker threads for every fused consumer (Figure 2's per-guess
+    // tournament, the naive baseline's, and the robust wrapper's final
+    // cross-repetition one).
+    use byzscore_board::par::set_thread_limit;
+
+    let _gate = THREAD_LIMIT_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let inst = world(14);
+    let session = Session::builder()
+        .instance(&inst)
+        .budget(4)
+        .adversary(Corruption::Count { count: 8 }, Inverter)
+        .build();
+
+    for alg in [
+        Algorithm::CalculatePreferences,
+        Algorithm::NaiveSampling,
+        Algorithm::Robust,
+    ] {
+        let reference = session.run(alg, 55);
+        assert!(
+            reference.peak_candidate_bytes > 0,
+            "{}: fused tournaments should meter candidate residency",
+            alg.name()
+        );
+        for threads in [1usize, 2, 8] {
+            set_thread_limit(Some(threads));
+            let out = session.run(alg, 55);
+            assert_eq!(
+                out.output,
+                reference.output,
+                "{} output differs at {threads} worker thread(s)",
+                alg.name()
+            );
+            assert_eq!(
+                out.probes.counts(),
+                reference.probes.counts(),
+                "{} probe ledger differs at {threads} worker thread(s)",
+                alg.name()
+            );
+            assert_eq!(
+                out.peak_candidate_bytes,
+                reference.peak_candidate_bytes,
+                "{} peak candidate bytes differ at {threads} worker thread(s)",
+                alg.name()
+            );
+        }
+        set_thread_limit(None);
+    }
+}
+
+#[test]
 fn banded_clustering_is_bit_identical_across_thread_counts() {
     // Banded neighbor discovery parallelizes its degree pass and (in scan
     // mode) its per-peel degree updates; the resulting `Clustering` must be

@@ -8,7 +8,7 @@
 //! `NaiveSampling` at n=10⁵ without changing a single output bit.
 
 use byzscore::cluster::{
-    cluster_players, neighbor_graph, peel_clusters, NeighborIndex, NeighborStrategy,
+    cluster_players, neighbor_graph, peel_clusters, GroupCache, NeighborIndex, NeighborStrategy,
 };
 use byzscore_bitset::{BitVec, Bits};
 use proptest::prelude::*;
@@ -110,6 +110,70 @@ proptest! {
         let auto = cluster_players(&zvecs, threshold, min_size);
         prop_assert_eq!(auto.assignment, reference.assignment);
         prop_assert_eq!(auto.clusters, reference.clusters);
+    }
+
+    /// Cross-guess reuse: a `GroupCache` built once and re-banded for a
+    /// sweep of thresholds must yield, at every τ and for every strategy,
+    /// the identical edge set and identical `Clustering` as an index built
+    /// fresh from the same z-vectors — the pinned contract behind the
+    /// naive baseline's guess-loop fusion.
+    #[test]
+    fn group_cache_rebanding_equals_fresh_build(seed in 400u64..440, n in 2usize..34, len in 8usize..260) {
+        let spread = (len / 16).max(1);
+        let zvecs = mixed_zvecs(seed, n, len, spread);
+        let min_size = (n / 4).max(1);
+        for strategy in [NeighborStrategy::Auto, NeighborStrategy::Banded, NeighborStrategy::Grouped] {
+            let cache = GroupCache::build(&zvecs, strategy);
+            // Doubling τ sweep, like the diameter-guess loop.
+            let mut tau = 1usize;
+            while tau <= len + 1 {
+                let fresh = NeighborIndex::build(&zvecs, tau, strategy);
+                let cached = cache.index(tau);
+                prop_assert_eq!(
+                    &cached.adjacency(), &fresh.adjacency(),
+                    "{:?} cached edge set diverges at n={} len={} τ={}",
+                    strategy, n, len, tau
+                );
+                let a = cache.cluster(tau, min_size);
+                let b = fresh.peel(min_size);
+                prop_assert_eq!(&a.assignment, &b.assignment);
+                prop_assert_eq!(&a.clusters, &b.clusters);
+                tau *= 2;
+            }
+        }
+    }
+
+    /// Warm-start refresh: perturbing a few rows and `refresh`ing the
+    /// cache must give bit-identical clusterings to a cold rebuild, while
+    /// reporting the untouched rows as reused.
+    #[test]
+    fn group_cache_refresh_equals_cold_build(seed in 500u64..530, n in 4usize..30, len in 16usize..200, touched in 1usize..6) {
+        let zvecs = mixed_zvecs(seed, n, len, (len / 16).max(1));
+        for strategy in [NeighborStrategy::Auto, NeighborStrategy::Grouped] {
+            let mut cache = GroupCache::build(&zvecs, strategy);
+            let mut drifted = zvecs.clone();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xd21f7);
+            for _ in 0..touched.min(n) {
+                let p = rng.gen_range(0..n);
+                drifted[p].flip(rng.gen_range(0..len));
+            }
+            let reused = cache.refresh(&drifted);
+            // Hash reuse only exists on the grouped path (Auto stays exact
+            // at these sizes and caches nothing); there, flips may collide
+            // on the same row, so the untouched count is a lower bound.
+            if cache.group_count().is_some() {
+                prop_assert!(reused >= n.saturating_sub(touched.min(n)));
+            } else {
+                prop_assert_eq!(reused, 0);
+            }
+            let cold = GroupCache::build(&drifted, strategy);
+            for tau in [1usize, len / 8 + 1, len / 2] {
+                let a = cache.cluster(tau, 2);
+                let b = cold.cluster(tau, 2);
+                prop_assert_eq!(&a.assignment, &b.assignment, "{:?} τ={}", strategy, tau);
+                prop_assert_eq!(&a.clusters, &b.clusters);
+            }
+        }
     }
 
     /// Heavy duplication (few distinct vectors, many copies): the grouped
