@@ -1,0 +1,5 @@
+//! Entry point for experiment `e17` (service throughput).
+
+fn main() {
+    byzscore_bench::cli::single_main("e17");
+}

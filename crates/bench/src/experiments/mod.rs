@@ -12,6 +12,7 @@ mod byzantine_exp;
 mod dynamic_exp;
 mod protocol_exp;
 mod scale_exp;
+mod service_exp;
 
 pub use ablations::{a1_select, a2_votes, a3_threshold};
 pub use blocks_exp::{e01_rselect, e02_zero_radius, e03_small_radius, e04_sample_concentration};
@@ -21,6 +22,7 @@ pub use protocol_exp::{
     e05_clustering, e06_probe_complexity, e07_error_vs_d, e08_lower_bound, e12_budgets,
 };
 pub use scale_exp::e13_scale_frontier;
+pub use service_exp::e17_service_throughput;
 
 use byzscore::{Outcome, Session, SweepPoint};
 use byzscore_adversary::Behaviors;

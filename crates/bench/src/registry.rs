@@ -12,7 +12,7 @@ use crate::{experiments as e, Scale};
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Short stable id (`e01` … `e16`, `a1` … `a3`), the `--only` key.
+    /// Short stable id (`e01` … `e17`, `a1` … `a3`), the `--only` key.
     pub id: &'static str,
     /// Human-readable slug (`rselect`, `byzantine`, …).
     pub name: &'static str,
@@ -153,6 +153,14 @@ pub static REGISTRY: &[Experiment] = &[
         runner: e::e16_drifting_truth,
     },
     Experiment {
+        id: "e17",
+        name: "service_throughput",
+        description:
+            "Scoring as a service: resident sharded engine replaying recorded request traces — reqs/sec, p50/p99 latency, gated response digests",
+        tags: &["service", "scale", "perf"],
+        runner: e::e17_service_throughput,
+    },
+    Experiment {
         id: "a1",
         name: "select-ablation",
         description: "Ablation: Select batch size and elimination constants",
@@ -211,7 +219,7 @@ mod tests {
             assert!(!x.description.is_empty(), "{} lacks a description", x.id);
             assert!(!x.tags.is_empty(), "{} lacks tags", x.id);
         }
-        assert_eq!(REGISTRY.len(), 19);
+        assert_eq!(REGISTRY.len(), 20);
     }
 
     #[test]

@@ -72,6 +72,15 @@ pub struct BoardStats {
     pub retired_scopes: u64,
 }
 
+impl BoardStats {
+    /// Total currently occupied slots of either kind — the board's live
+    /// working set, the quantity a well-behaved session lifecycle must
+    /// return to its pre-open level on close.
+    pub fn live_slots(&self) -> u64 {
+        self.live_vector_slots + self.live_claim_slots
+    }
+}
+
 /// A registered posting scope on a [`Board`].
 ///
 /// Cheap to copy (a board reference plus the scope id); post through it
@@ -420,6 +429,7 @@ mod tests {
         assert_eq!(s.peak_vector_slots, 1, "peak survives retirement");
         assert_eq!(s.peak_claim_slots, 1);
         assert_eq!(s.retired_scopes, 1);
+        assert_eq!(s.live_slots(), 0, "live_slots sums both slot kinds");
     }
 
     #[test]

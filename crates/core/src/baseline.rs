@@ -85,7 +85,8 @@ pub fn naive_sampling_with(
     // so only surviving candidates stay resident.
     let min_cluster = params.peel_min_size(n);
     let all_objects: Vec<u32> = (0..m as u32).collect();
-    let mut fused = FusedSelect::new(ctx, &[0x7a1e]);
+    let select_pool = warm.map(|w| w.take_select_pool()).unwrap_or_default();
+    let mut fused = FusedSelect::with_pool(ctx, &[0x7a1e], select_pool);
     for (di, &diameter) in params.diameter_guesses(n, m).iter().enumerate() {
         // Expected sample distance of a D-pair is |R|·D/m; edge at 3×.
         let tau = ((3.0 * sample.len() as f64 * diameter as f64 / m as f64).ceil() as usize).max(1);
@@ -96,10 +97,12 @@ pub fn naive_sampling_with(
         ctx.board.retire_prefix(&[0x7a1e, di as u64]);
     }
 
+    let (rows, spent) = fused.finish_recycling(ctx, &all_objects);
     if let Some(w) = warm {
         w.put(cache, reused);
+        w.put_select_pool(spent);
     }
-    fused.finish(ctx, &all_objects)
+    rows
 }
 
 /// No collaboration beyond a public pool of probe results.

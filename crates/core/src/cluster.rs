@@ -1278,6 +1278,13 @@ impl GroupCache {
 pub struct WarmStart {
     slot: std::sync::Mutex<Option<GroupCache>>,
     reused_rows: std::sync::atomic::AtomicUsize,
+    /// Recycled per-player `RSelect` machines from the previous run's
+    /// fused tournament — the reusable per-shard select state: a resident
+    /// service session recomputes on every churn/epoch transition, and
+    /// re-allocating `n` tournament machines each time is pure churn.
+    /// Machines are `reset` before reuse, which is draw-for-draw
+    /// indistinguishable from a fresh machine (pinned in blocks).
+    select_pool: std::sync::Mutex<Vec<byzscore_blocks::StreamingRSelect>>,
 }
 
 impl WarmStart {
@@ -1310,6 +1317,21 @@ impl WarmStart {
     /// drift leaves the sampled coordinates untouched).
     pub fn last_reused_rows(&self) -> usize {
         self.reused_rows.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Take the recycled select machines (empty on the first run).
+    pub(crate) fn take_select_pool(&self) -> Vec<byzscore_blocks::StreamingRSelect> {
+        std::mem::take(&mut *self.select_pool.lock().expect("select pool"))
+    }
+
+    /// Return a run's select machines for the next run to reuse.
+    pub(crate) fn put_select_pool(&self, pool: Vec<byzscore_blocks::StreamingRSelect>) {
+        *self.select_pool.lock().expect("select pool") = pool;
+    }
+
+    /// Number of select machines currently pooled for reuse.
+    pub fn pooled_selects(&self) -> usize {
+        self.select_pool.lock().expect("select pool").len()
     }
 }
 

@@ -362,7 +362,7 @@ fn observe(
 /// lists hold *slots* (what corruption targeting and skyline baselines
 /// operate on). Centers and diameter describe the base epoch — drift
 /// perturbs the live world around them (DESIGN.md §4.11).
-fn remap_planted(pool: &Planted, map: &[u32]) -> Planted {
+pub fn remap_planted(pool: &Planted, map: &[u32]) -> Planted {
     let assignment: Vec<u32> = map.iter().map(|&id| pool.assignment[id as usize]).collect();
     let mut clusters = vec![Vec::new(); pool.clusters.len()];
     for (slot, &c) in assignment.iter().enumerate() {

@@ -89,9 +89,13 @@ pub use byzscore_board::{
     ClusterSpec, DenseTruth, DriftLocality, DriftSchedule, DriftingTruth, ProceduralTruth,
     RemappedTruth, TruthSource,
 };
-pub use cluster::{GroupCache, NeighborIndex, NeighborStrategy, WarmStart};
-pub use dynamic::{ChurnSchedule, DynamicOutcome, DynamicWorld, DynamicWorldBuilder, RoundReport};
+pub use cluster::{
+    cluster_players_with, Clustering, GroupCache, NeighborIndex, NeighborStrategy, WarmStart,
+};
+pub use dynamic::{
+    remap_planted, ChurnSchedule, DynamicOutcome, DynamicWorld, DynamicWorldBuilder, RoundReport,
+};
 pub use params::ProtocolParams;
 pub use protocol::calculate_preferences;
 pub use robust::robust_calculate_preferences;
-pub use runner::{Algorithm, Outcome, OutputSink, Session, SessionBuilder, SweepPoint};
+pub use runner::{Algorithm, BuildError, Outcome, OutputSink, Session, SessionBuilder, SweepPoint};

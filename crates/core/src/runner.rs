@@ -58,6 +58,30 @@ impl Algorithm {
     }
 }
 
+/// Why [`SessionBuilder::try_build`] could not produce a [`Session`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// No world was supplied. One of the world-setting builder steps —
+    /// [`SessionBuilder::instance`], [`SessionBuilder::truth`],
+    /// [`SessionBuilder::procedural`], or
+    /// [`SessionBuilder::procedural_dense`] — must run before building.
+    MissingWorld,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingWorld => write!(
+                f,
+                "SessionBuilder: no world set — call instance(..), truth(..), \
+                 procedural(..), or procedural_dense(..) before build()"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// How [`Session::run`] disposes of the per-player output rows.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum OutputSink {
@@ -227,6 +251,27 @@ impl Session {
     /// Planted structure, when known.
     pub fn planted(&self) -> Option<&Planted> {
         self.planted.as_ref()
+    }
+
+    /// A session over a *changed* world that keeps everything else:
+    /// parameters, adversary, sink — and, crucially, the shared
+    /// [`WarmStart`] slot, so the next `NaiveSampling` run refreshes the
+    /// previous world's group cache (and reuses its pooled select
+    /// machines) instead of rebuilding from scratch. This is the
+    /// incremental recompute path the resident service engine drives on
+    /// every churn/epoch transition (DESIGN.md §4.13); results stay
+    /// bit-identical to a cold session over the same world.
+    pub fn evolved(&self, truth: Arc<dyn TruthSource>, planted: Option<Planted>) -> Session {
+        Session {
+            truth,
+            planted,
+            params: self.params.clone(),
+            corruption: self.corruption.clone(),
+            strategy: self.strategy.clone(),
+            election_adversary: self.election_adversary.clone(),
+            sink: self.sink,
+            warm: self.warm.clone(),
+        }
     }
 
     /// Execute `algorithm` with master seed `seed` and measure everything.
@@ -445,12 +490,16 @@ impl SessionBuilder {
         self
     }
 
-    /// Finish. Panics if no truth source was supplied.
+    /// Finish. Panics with the [`BuildError`] message if no truth source
+    /// was supplied; fallible callers use [`SessionBuilder::try_build`].
     pub fn build(self) -> Session {
-        let truth = self
-            .truth
-            .expect("SessionBuilder: set a world first (instance/truth/procedural)");
-        Session {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finish, naming the missing builder step instead of panicking.
+    pub fn try_build(self) -> Result<Session, BuildError> {
+        let truth = self.truth.ok_or(BuildError::MissingWorld)?;
+        Ok(Session {
             truth,
             planted: self.planted,
             params: self
@@ -465,7 +514,7 @@ impl SessionBuilder {
                 .unwrap_or_else(|| Arc::new(GreedyInfiltrate) as Arc<dyn BinStrategy>),
             sink: self.sink,
             warm: self.warm,
-        }
+        })
     }
 }
 
@@ -579,6 +628,34 @@ mod tests {
             assert_eq!(out.probes.counts(), direct.probes.counts());
             assert_eq!(out.board, direct.board);
         }
+    }
+
+    #[test]
+    fn try_build_names_the_missing_world_step() {
+        let err = Session::builder().budget(4).try_build().err().unwrap();
+        assert_eq!(err, BuildError::MissingWorld);
+        let msg = err.to_string();
+        for step in ["instance", "truth", "procedural", "build()"] {
+            assert!(msg.contains(step), "{msg:?} does not name {step}");
+        }
+        // A world set through any builder step builds fine.
+        assert!(Session::builder().instance(&instance()).try_build().is_ok());
+    }
+
+    #[test]
+    fn evolved_session_keeps_params_and_matches_cold() {
+        let inst = instance();
+        let sys = Session::builder()
+            .instance(&inst)
+            .budget(4)
+            .adversary(Corruption::Count { count: 3 }, Inverter)
+            .build();
+        let evolved = sys.evolved(sys.truth().clone(), sys.planted().cloned());
+        assert_eq!(evolved.params().budget(), sys.params().budget());
+        let a = sys.run(Algorithm::NaiveSampling, 6);
+        let b = evolved.run(Algorithm::NaiveSampling, 6);
+        assert_eq!(a.output, b.output, "same world ⇒ same outcome");
+        assert_eq!(a.dishonest_count, b.dishonest_count);
     }
 
     #[test]

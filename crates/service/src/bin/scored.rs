@@ -1,0 +1,158 @@
+//! `scored` — the scoring-service command line.
+//!
+//! ```text
+//! scored gen <out.trace> [--sessions N] [--ops N] [--players N] [--objects N]
+//!                        [--clusters N] [--diameter N] [--budget N] [--corrupt N]
+//!                        [--drift-ppm N] [--algorithm naive|calculate|oracle|majority]
+//!                        [--skew N] [--seed S]
+//! scored replay <in.trace> [--threads T]
+//! scored serve
+//! ```
+//!
+//! `gen` writes a deterministic trace file; `replay` executes one and
+//! prints the op count and combined digest (the digest is the cell CI
+//! gates — it is identical at any `--threads`); `serve` reads op lines
+//! from stdin and answers one line per op on stdout.
+
+use std::io::BufRead;
+
+use byzscore_board::par::set_thread_limit;
+use byzscore_service::{
+    combined_digest, parse_op, Response, ServiceAlgorithm, ServiceEngine, Trace, TraceSpec,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scored gen <out.trace> [--sessions N] [--ops N] [--players N] [--objects N]\n\
+         \u{20}                        [--clusters N] [--diameter N] [--budget N] [--corrupt N]\n\
+         \u{20}                        [--drift-ppm N] [--algorithm NAME] [--skew N] [--seed S]\n\
+         \u{20}      scored replay <in.trace> [--threads T]\n\
+         \u{20}      scored serve"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    match args.next().map(|v| v.parse::<T>()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("scored: {flag} needs a numeric value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("gen") => gen(&argv[1..]),
+        Some("replay") => replay(&argv[1..]),
+        Some("serve") => serve(),
+        _ => usage(),
+    }
+}
+
+fn gen(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let mut spec = TraceSpec::small(1);
+    let rest: Vec<String> = args[1..].to_vec();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sessions" => spec.sessions = parse_num(&mut it, flag),
+            "--ops" => spec.ops = parse_num(&mut it, flag),
+            "--players" => spec.players = parse_num(&mut it, flag),
+            "--objects" => spec.objects = parse_num(&mut it, flag),
+            "--clusters" => spec.clusters = parse_num(&mut it, flag),
+            "--diameter" => spec.diameter = parse_num(&mut it, flag),
+            "--budget" => spec.budget = parse_num(&mut it, flag),
+            "--corrupt" => spec.corrupt = parse_num(&mut it, flag),
+            "--drift-ppm" => spec.drift_ppm = parse_num(&mut it, flag),
+            "--skew" => spec.skew = parse_num(&mut it, flag),
+            "--seed" => spec.seed = parse_num(&mut it, flag),
+            "--algorithm" => {
+                let name = it.next().map(String::as_str).unwrap_or("");
+                match ServiceAlgorithm::parse(name) {
+                    Some(alg) => spec.algorithm = alg,
+                    None => {
+                        eprintln!("scored: unknown algorithm {name:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let trace = Trace::generate(&spec);
+    if let Err(e) = std::fs::write(path, trace.to_text()) {
+        eprintln!("scored: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} ops to {path}", trace.ops.len());
+}
+
+fn replay(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let rest: Vec<String> = args[1..].to_vec();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => set_thread_limit(Some(parse_num(&mut it, flag))),
+            _ => usage(),
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scored: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let trace = match Trace::from_text(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let start = std::time::Instant::now();
+    let responses = trace.replay();
+    let elapsed = start.elapsed();
+    let rejected = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Rejected(_)))
+        .count();
+    println!(
+        "replayed {} ops in {:.1} ms ({} rejected)",
+        responses.len(),
+        elapsed.as_secs_f64() * 1e3,
+        rejected
+    );
+    println!("digest {:016x}", combined_digest(&responses));
+}
+
+fn serve() {
+    let stdin = std::io::stdin();
+    let mut engine = ServiceEngine::new();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_op(trimmed) {
+            Ok(op) => {
+                let resp = engine.execute(std::slice::from_ref(&op)).remove(0);
+                println!("{:016x} {resp:?}", resp.digest());
+            }
+            Err(msg) => println!("err {msg}"),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! **byzscore-service** — scoring as a service.
+//!
+//! A resident engine ([`ServiceEngine`]) holds many concurrent scoring
+//! sessions behind a typed request API ([`Request`]/[`Response`]):
+//! open a world, submit probes, query computed preferences, churn the
+//! population, advance the drift epoch, close. Requests are sharded
+//! across a fixed logical worker set keyed by the *group graph* of the
+//! current scores — same-group players route to the same worker, and
+//! cross-shard preference queries merge per-shard partials in request
+//! order. World transitions recompute scores incrementally through the
+//! warm-start path (group-cache refresh + pooled select machines) of
+//! `byzscore::Session::evolved`.
+//!
+//! The [`workload`] module generates seeded request traces and
+//! round-trips them through the versioned `byzscore-trace/v1` file
+//! format; a trace replays bit-identically at any thread count, which is
+//! what the `e17_service_throughput` benchmark and the determinism suite
+//! gate on. The `scored` binary wraps generate/replay/serve for the
+//! command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod request;
+pub mod workload;
+
+pub use engine::{ServiceEngine, DEFAULT_SHARDS, TAG_SERVICE};
+pub use request::{
+    combined_digest, mix, Request, Response, ServiceAlgorithm, ServiceError, SessionSpec,
+};
+pub use workload::{parse_op, OpMix, Trace, TraceError, TraceSpec, TRACE_VERSION};

@@ -10,8 +10,10 @@ Every experiment run is a pure function of its seeds (the determinism test
 suite enforces bit-identity across thread counts), so probe counts and
 error statistics must match the baseline *exactly* up to float formatting.
 Timing columns (headers containing "elapsed", "ms", or "seconds") are
-skipped, as are table notes (they embed derived slopes already covered by
-the numeric cells). Any other cell drift fails the check loudly — that is
+skipped, as are explicitly report-only columns (REPORT_ONLY_MARKERS —
+throughput rates like e17's "reqs/sec" are wall-clock in disguise) and
+table notes (they embed derived slopes already covered by the numeric
+cells). Any other cell drift fails the check loudly — that is
 the point: accuracy or probe-complexity regressions must not land
 silently (ROADMAP "perf baseline tracking").
 
@@ -64,6 +66,12 @@ COLUMN_TOLERANCES: list[tuple[str, float]] = [
 
 TIMING_MARKERS = ("elapsed", " ms", "seconds")
 
+# Columns that are machine-dependent without being timing-named: derived
+# rates whose numerator is deterministic but whose denominator is
+# wall-clock (e17's request throughput). Matched as case-insensitive
+# substrings of the header, like TIMING_MARKERS.
+REPORT_ONLY_MARKERS = ("reqs/sec",)
+
 # --timing-report flags experiments whose wall-clock moved by more than
 # this factor in either direction. Deliberately generous: it is a
 # trajectory report, not a gate.
@@ -78,6 +86,11 @@ TIMING_NOISE_FLOOR_S = 0.1
 def is_timing(header: str) -> bool:
     h = header.lower()
     return h == "ms" or any(marker in h for marker in TIMING_MARKERS)
+
+
+def is_report_only(header: str) -> bool:
+    h = header.lower()
+    return any(marker in h for marker in REPORT_ONLY_MARKERS)
 
 
 def tolerance_for(header: str, overrides) -> float:
@@ -171,7 +184,7 @@ def compare_docs(baseline, current, overrides=()):
         table_failed = False
         for r, (brow, crow) in enumerate(zip(base["rows"], cur["rows"])):
             for header, bcell, ccell in zip(base["headers"], brow, crow):
-                if is_timing(header):
+                if is_timing(header) or is_report_only(header):
                     continue
                 tol = tolerance_for(header, overrides)
                 if not cells_match(bcell, ccell, tol):
@@ -386,6 +399,20 @@ def self_test():
     )
     assert len(fails) == 1 and "peak candidate bytes" in fails[0], fails
 
+    # Report-only rate columns (e17 "reqs/sec") never gate, but their
+    # deterministic neighbors — hex digests, rejected counts — still do:
+    # digests are non-numeric, so they must match EXACTLY.
+    svc_headers = ("shards", "reqs/sec", "p50 ms", "digest")
+    svc_base = doc([["8", "5000.00", "0.1600", "ae1c51929c5e0fad"]], headers=svc_headers)
+    fails, _, _ = compare_docs(
+        svc_base, doc([["8", "9999.99", "0.9999", "ae1c51929c5e0fad"]], headers=svc_headers)
+    )
+    assert not fails, fails
+    fails, _, _ = compare_docs(
+        svc_base, doc([["8", "5000.00", "0.1600", "ae1c51929c5e0fae"]], headers=svc_headers)
+    )
+    assert len(fails) == 1 and "digest" in fails[0], fails
+
     # New tables are reported as notes, not failures.
     extra = doc([["64", "3.00", "10"], ["128", "5.00", "20"]])
     extra["experiments"].append(
@@ -452,7 +479,7 @@ def self_test():
     assert "scale=full" in text and "e13" in text, text
     assert any("total" in line and "401.500" in line for line in summary), summary
 
-    print("check_bench self-test OK (15 scenarios)")
+    print("check_bench self-test OK (16 scenarios)")
 
 
 if __name__ == "__main__":

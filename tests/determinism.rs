@@ -519,6 +519,102 @@ fn dynamic_world_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn committed_service_trace_replays_identically_across_thread_counts() {
+    // The repo carries a recorded service workload (traces/service_quick
+    // .trace); replaying it must reproduce the digest stamped at commit
+    // time, per-op, at 1, 2, and 8 worker threads. Any engine change that
+    // shifts responses has to regenerate the trace and this constant
+    // together — that is the point: the file is the compatibility fence
+    // for the byzscore-trace/v1 format and the service's answer semantics.
+    use byzscore_board::par::set_thread_limit;
+    use byzscore_service::{combined_digest, ServiceEngine, Trace};
+
+    const EXPECTED_DIGEST: u64 = 0x7420_04f5_2561_bb35;
+
+    let _gate = THREAD_LIMIT_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../traces/service_quick.trace");
+    let text = std::fs::read_to_string(path).expect("committed trace readable");
+    let trace = Trace::from_text(&text).expect("committed trace parses");
+
+    let reference = ServiceEngine::new().execute(&trace.ops);
+    assert_eq!(
+        combined_digest(&reference),
+        EXPECTED_DIGEST,
+        "committed trace no longer replays to its recorded digest; \
+         regenerate traces/service_quick.trace and this constant together"
+    );
+    let ref_digests: Vec<u64> = reference.iter().map(|r| r.digest()).collect();
+
+    for threads in [1usize, 2, 8] {
+        set_thread_limit(Some(threads));
+        let got: Vec<u64> = ServiceEngine::new()
+            .execute(&trace.ops)
+            .iter()
+            .map(|r| r.digest())
+            .collect();
+        assert_eq!(
+            got, ref_digests,
+            "per-op digests differ at {threads} worker thread(s)"
+        );
+    }
+    set_thread_limit(None);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+    /// Trace round trip: a generated workload survives serialize →
+    /// deserialize exactly, and the deserialized copy replays to the
+    /// same per-op response digests as the original at 1, 2, and 8
+    /// worker threads.
+    #[test]
+    fn service_trace_round_trips_and_replays_bit_identically(
+        seed in 0u64..1000,
+        sessions in 1usize..3,
+        ops in 0usize..25,
+        skew in 0u32..3,
+        churn_w in 0u32..4,
+        epoch_w in 0u32..3,
+    ) {
+        use byzscore_board::par::set_thread_limit;
+        use byzscore_service::{OpMix, ServiceAlgorithm, Trace, TraceSpec};
+        use proptest::prelude::prop_assert_eq;
+
+        let spec = TraceSpec {
+            sessions,
+            ops,
+            players: 12,
+            objects: 24,
+            clusters: 2,
+            diameter: 2,
+            budget: 2,
+            corrupt: 1,
+            drift_ppm: 3_000,
+            algorithm: ServiceAlgorithm::Naive,
+            mix: OpMix { probe: 5, query: 3, churn: churn_w, epoch: epoch_w },
+            skew,
+            seed,
+        };
+        let trace = Trace::generate(&spec);
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).expect("generated trace parses back");
+        prop_assert_eq!(&parsed, &trace);
+
+        let _gate = THREAD_LIMIT_GATE
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let reference: Vec<u64> = trace.replay().iter().map(|r| r.digest()).collect();
+        for threads in [1usize, 2, 8] {
+            set_thread_limit(Some(threads));
+            let got: Vec<u64> = parsed.replay().iter().map(|r| r.digest()).collect();
+            prop_assert_eq!(&got, &reference);
+        }
+        set_thread_limit(None);
+    }
+}
+
+#[test]
 fn workload_generation_is_deterministic() {
     let a = world(6);
     let b = world(6);
