@@ -9,9 +9,10 @@
 
 use std::time::Instant;
 
+use byzscore_service::net::{replay_over_socket, request_shutdown};
 use byzscore_service::{
-    combined_digest, OpMix, Response, ServiceAlgorithm, ServiceEngine, Trace, TraceSpec,
-    DEFAULT_SHARDS,
+    combined_digest, parse_digests, NetConfig, OpMix, Response, Server, ServiceAlgorithm,
+    ServiceEngine, Trace, TraceSpec, DEFAULT_SHARDS,
 };
 
 use crate::table::{f2, Table};
@@ -179,5 +180,80 @@ pub fn e17_service_throughput(scale: Scale) -> Vec<Table> {
         spec.drift_ppm,
         spec.skew,
     ));
-    vec![det, thr]
+
+    vec![det, thr, socket_replay_table()]
+}
+
+/// Table 3 — socket replay: the committed quick trace through the
+/// `byzscore-wire/v1` TCP front-end (loopback) at one and four client
+/// connections. The digest must equal the manifest pin in
+/// traces/DIGESTS — the same cell the in-process replay, the
+/// determinism suite, and CI's service-e2e job gate — proving the
+/// socket path (framing, admission, per-shard workers, merge cells)
+/// adds no observable state. Busy retries are structurally zero here:
+/// the client pipelines at most 64 ops against a 256-deep queue.
+fn socket_replay_table() -> Table {
+    let trace_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../traces/service_quick.trace"
+    );
+    let manifest_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../traces/DIGESTS");
+    let trace =
+        Trace::from_text(&std::fs::read_to_string(trace_path).expect("committed trace readable"))
+            .expect("committed trace parses");
+    let pinned = parse_digests(&std::fs::read_to_string(manifest_path).expect("DIGESTS readable"))
+        .expect("DIGESTS parses")
+        .into_iter()
+        .find(|(name, _)| name == "service_quick.trace")
+        .map(|(_, d)| d)
+        .expect("service_quick.trace pinned in traces/DIGESTS");
+
+    let mut tab = Table::new(
+        "E17: socket replay of the committed trace (byzscore-wire/v1 loopback)",
+        &[
+            "connections",
+            "ops",
+            "rejected",
+            "busy retries",
+            "reqs/sec",
+            "digest",
+            "matches traces/DIGESTS",
+        ],
+    );
+    for connections in [1usize, 4] {
+        let server = Server::bind("127.0.0.1:0", NetConfig::default()).expect("bind loopback");
+        let addr = server.local_addr();
+        let running = std::thread::spawn(move || server.run());
+        let start = Instant::now();
+        let replay =
+            replay_over_socket(addr, &trace.ops, connections).expect("socket replay succeeds");
+        let seconds = start.elapsed().as_secs_f64().max(1e-9);
+        request_shutdown(addr).expect("server acknowledges shutdown");
+        running.join().expect("server thread exits cleanly");
+        let digest = combined_digest(&replay.responses);
+        let rejected = replay
+            .responses
+            .iter()
+            .filter(|r| matches!(r, Response::Rejected(_)))
+            .count();
+        tab.row(vec![
+            connections.to_string(),
+            replay.responses.len().to_string(),
+            rejected.to_string(),
+            replay.busy_retries.to_string(),
+            f2(replay.responses.len() as f64 / seconds),
+            format!("{digest:016x}"),
+            if digest == pinned {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    tab.note(
+        "loopback TCP, default NetConfig (8 shard workers, queue depth 256); every cell except \
+         reqs/sec is gated — the digest is pinned in traces/DIGESTS and bit-identical to the \
+         in-process and stdin replays at any connection count",
+    );
+    tab
 }

@@ -6,19 +6,27 @@
 //!                        [--drift-ppm N] [--algorithm naive|calculate|oracle|majority]
 //!                        [--skew N] [--seed S]
 //! scored replay <in.trace> [--threads T]
-//! scored serve
+//! scored serve [--listen ADDR] [--shards N] [--queue-depth N] [--threads T]
+//! scored client <ADDR> <in.trace> [--connections N] [--shutdown]
 //! ```
 //!
 //! `gen` writes a deterministic trace file; `replay` executes one and
 //! prints the op count and combined digest (the digest is the cell CI
-//! gates — it is identical at any `--threads`); `serve` reads op lines
-//! from stdin and answers one line per op on stdout.
+//! gates — it is identical at any `--threads`); `serve` without
+//! `--listen` reads op lines from stdin and answers one line per op on
+//! stdout, while `--listen` starts the `byzscore-wire/v1` TCP
+//! front-end (per-shard worker threads, bounded admission) and prints
+//! its stats counters at shutdown; `client` replays a trace file over
+//! the socket and prints the same `digest` line as `replay`, so the
+//! two are directly comparable — CI's `service-e2e` job gates exactly
+//! that equality.
 
 use std::io::BufRead;
 
 use byzscore_board::par::set_thread_limit;
 use byzscore_service::{
-    combined_digest, parse_op, Response, ServiceAlgorithm, ServiceEngine, Trace, TraceSpec,
+    combined_digest, net, parse_op, NetConfig, Response, Server, ServiceAlgorithm, ServiceEngine,
+    ServiceError, Trace, TraceSpec,
 };
 
 fn usage() -> ! {
@@ -27,7 +35,8 @@ fn usage() -> ! {
          \u{20}                        [--clusters N] [--diameter N] [--budget N] [--corrupt N]\n\
          \u{20}                        [--drift-ppm N] [--algorithm NAME] [--skew N] [--seed S]\n\
          \u{20}      scored replay <in.trace> [--threads T]\n\
-         \u{20}      scored serve"
+         \u{20}      scored serve [--listen ADDR] [--shards N] [--queue-depth N] [--threads T]\n\
+         \u{20}      scored client <ADDR> <in.trace> [--connections N] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -47,7 +56,8 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("gen") => gen(&argv[1..]),
         Some("replay") => replay(&argv[1..]),
-        Some("serve") => serve(),
+        Some("serve") => serve(&argv[1..]),
+        Some("client") => client(&argv[1..]),
         _ => usage(),
     }
 }
@@ -93,6 +103,23 @@ fn gen(args: &[String]) {
     println!("wrote {} ops to {path}", trace.ops.len());
 }
 
+fn read_trace(path: &str) -> Trace {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scored: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Trace::from_text(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scored: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn replay(args: &[String]) {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         usage();
@@ -105,20 +132,7 @@ fn replay(args: &[String]) {
             _ => usage(),
         }
     }
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("scored: cannot read {path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let trace = match Trace::from_text(&text) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("scored: {e}");
-            std::process::exit(1);
-        }
-    };
+    let trace = read_trace(path);
     let start = std::time::Instant::now();
     let responses = trace.replay();
     let elapsed = start.elapsed();
@@ -135,7 +149,47 @@ fn replay(args: &[String]) {
     println!("digest {:016x}", combined_digest(&responses));
 }
 
-fn serve() {
+fn serve(args: &[String]) {
+    let mut listen: Option<String> = None;
+    let mut config = NetConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => {
+                    eprintln!("scored: --listen needs an address");
+                    std::process::exit(2);
+                }
+            },
+            "--shards" => config.shards = parse_num(&mut it, flag),
+            "--queue-depth" => config.queue_depth = parse_num(&mut it, flag),
+            "--threads" => set_thread_limit(Some(parse_num(&mut it, flag))),
+            _ => usage(),
+        }
+    }
+    match listen {
+        Some(addr) => serve_socket(&addr, config),
+        None => serve_stdin(),
+    }
+}
+
+fn serve_socket(addr: &str, config: NetConfig) {
+    let server = match Server::bind(addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scored: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The e2e harness greps this line for the actual port (`--listen
+    // 127.0.0.1:0` lets the OS choose).
+    println!("listening on {}", server.local_addr());
+    let stats = server.run();
+    println!("shutdown: {}", stats.encode());
+}
+
+fn serve_stdin() {
     let stdin = std::io::stdin();
     let mut engine = ServiceEngine::new();
     for line in stdin.lock().lines() {
@@ -147,12 +201,58 @@ fn serve() {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        match parse_op(trimmed) {
-            Ok(op) => {
-                let resp = engine.execute(std::slice::from_ref(&op)).remove(0);
-                println!("{:016x} {resp:?}", resp.digest());
-            }
-            Err(msg) => println!("err {msg}"),
+        let resp = match parse_op(trimmed) {
+            Ok(op) => engine.execute(std::slice::from_ref(&op)).remove(0),
+            // A malformed line answers typed like any other rejection
+            // (and keeps serving) instead of a bare `err` string.
+            Err(message) => Response::Rejected(ServiceError::Malformed { message }),
+        };
+        println!("{:016x} {resp:?}", resp.digest());
+    }
+}
+
+fn client(args: &[String]) {
+    let (Some(addr), Some(path)) = (args.first(), args.get(1)) else {
+        usage();
+    };
+    let mut connections = 1usize;
+    let mut shutdown = false;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connections" => connections = parse_num(&mut it, flag),
+            "--shutdown" => shutdown = true,
+            _ => usage(),
+        }
+    }
+    let trace = read_trace(path);
+    let start = std::time::Instant::now();
+    let replayed = match net::replay_over_socket(addr.as_str(), &trace.ops, connections) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scored: socket replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = start.elapsed();
+    let rejected = replayed
+        .responses
+        .iter()
+        .filter(|r| matches!(r, Response::Rejected(_)))
+        .count();
+    println!(
+        "replayed {} ops in {:.1} ms over {} connection(s) ({} rejected, {} busy retries)",
+        replayed.responses.len(),
+        elapsed.as_secs_f64() * 1e3,
+        connections,
+        rejected,
+        replayed.busy_retries
+    );
+    println!("digest {:016x}", combined_digest(&replayed.responses));
+    if shutdown {
+        if let Err(e) = net::request_shutdown(addr.as_str()) {
+            eprintln!("scored: shutdown request failed: {e}");
+            std::process::exit(1);
         }
     }
 }

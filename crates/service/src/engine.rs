@@ -62,7 +62,7 @@ const TAG_SCORE: u64 = 0x5e_c3;
 pub const DEFAULT_SHARDS: usize = 8;
 
 /// Everything resident for one open session.
-struct SessionState {
+pub(crate) struct SessionState {
     spec: SessionSpec,
     /// Fixed identity pool (capacity `2 × players`).
     pool: Arc<dyn TruthSource>,
@@ -223,8 +223,11 @@ impl ServiceEngine {
             .collect()
     }
 
-    /// Serial (world-mutating) ops.
-    fn barrier(&mut self, req: &Request) -> Response {
+    /// Serial (world-mutating) ops. Also the entry point for the socket
+    /// front-end's dispatcher, which calls it under its exclusive engine
+    /// lock after draining the shard queues — the same flush-then-barrier
+    /// ordering `execute` enforces on a batch.
+    pub(crate) fn barrier(&mut self, req: &Request) -> Response {
         match req {
             Request::Open(spec) => self.open(*spec),
             Request::ApplyChurn {
@@ -546,53 +549,16 @@ fn flush(
                     state,
                     player,
                     objects,
-                } => {
-                    let mut ones = 0u32;
-                    let mut digest = 0x920beu64;
-                    for &o in objects.iter() {
-                        let bit = state.oracle.probe(*player, o);
-                        board.post_claim(state.scope, *player, o, bit);
-                        ones += bit as u32;
-                        digest = mix(digest, mix(o as u64, bit as u64));
-                    }
-                    (
-                        *idx,
-                        JobOut::Full(Response::Probed {
-                            session: *session,
-                            player: *player,
-                            ones,
-                            digest,
-                        }),
-                    )
-                }
+                } => (
+                    *idx,
+                    JobOut::Full(probe_response(board, state, *session, *player, objects)),
+                ),
                 ShardJob::QueryPart {
                     idx,
                     state,
                     members,
                     objects,
-                } => {
-                    let rows = &state.rows;
-                    let part = members
-                        .iter()
-                        .map(|&(pos, p)| {
-                            let row = rows.row(p as usize);
-                            match objects {
-                                None => (pos, row.count_ones() as u64, row.content_hash()),
-                                Some(objs) => {
-                                    let mut ones = 0u64;
-                                    let mut digest = 0x9ae5u64;
-                                    for &o in objs.iter() {
-                                        let bit = row.get(o as usize);
-                                        ones += bit as u64;
-                                        digest = mix(digest, mix(o as u64, bit as u64));
-                                    }
-                                    (pos, ones, digest)
-                                }
-                            }
-                        })
-                        .collect();
-                    (*idx, JobOut::Part(part))
-                }
+                } => (*idx, JobOut::Part(query_part(state, members, *objects))),
             })
             .collect()
     });
@@ -620,28 +586,176 @@ fn flush(
     }
     let mut merged: Vec<(usize, Response)> = merges
         .into_iter()
-        .map(|(idx, (buf, session))| {
-            let mut total = 0u64;
-            let mut digest = 0x9e4fu64;
-            for cell in &buf {
-                let (ones, d) = cell.expect("every queried player answered");
-                total += ones;
-                digest = mix(digest, mix(ones, d));
-            }
-            (
-                idx,
-                Response::Preferences {
-                    session,
-                    players: buf.len() as u32,
-                    ones: total,
-                    digest,
-                },
-            )
-        })
+        .map(|(idx, (buf, session))| (idx, merge_preferences(session, &buf)))
         .collect();
     merged.sort_unstable_by_key(|&(idx, _)| idx);
     for (idx, resp) in merged {
         responses[idx] = Some(resp);
+    }
+}
+
+/// Execute one probe op against a session: every probed bit is read
+/// through the memoized oracle and posted as a claim in the session's
+/// board scope. Side effects commute (atomic probe ledger, same-value
+/// claims), so concurrent probes — batch flush or socket shard workers —
+/// produce the same final state and per-op answer in any order.
+pub(crate) fn probe_response(
+    board: &Board,
+    state: &SessionState,
+    session: u64,
+    player: u32,
+    objects: &[u32],
+) -> Response {
+    let mut ones = 0u32;
+    let mut digest = 0x920beu64;
+    for &o in objects.iter() {
+        let bit = state.oracle.probe(player, o);
+        board.post_claim(state.scope, player, o, bit);
+        ones += bit as u32;
+        digest = mix(digest, mix(o as u64, bit as u64));
+    }
+    Response::Probed {
+        session,
+        player,
+        ones,
+        digest,
+    }
+}
+
+/// Execute one shard's slice of a preference query: per member
+/// `(original position, ones, row digest)`, pure reads of the cached
+/// score rows.
+pub(crate) fn query_part(
+    state: &SessionState,
+    members: &[(usize, u32)],
+    objects: Option<&[u32]>,
+) -> Vec<(usize, u64, u64)> {
+    let rows = &state.rows;
+    members
+        .iter()
+        .map(|&(pos, p)| {
+            let row = rows.row(p as usize);
+            match objects {
+                None => (pos, row.count_ones() as u64, row.content_hash()),
+                Some(objs) => {
+                    let mut ones = 0u64;
+                    let mut digest = 0x9ae5u64;
+                    for &o in objs.iter() {
+                        let bit = row.get(o as usize);
+                        ones += bit as u64;
+                        digest = mix(digest, mix(o as u64, bit as u64));
+                    }
+                    (pos, ones, digest)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Fold completed query partials — indexed by original player position —
+/// into the final [`Response::Preferences`]. Both the batch flush and
+/// the socket merge cells call this, so the digest arithmetic cannot
+/// drift between the two front-ends.
+pub(crate) fn merge_preferences(session: u64, buf: &[Option<(u64, u64)>]) -> Response {
+    let mut total = 0u64;
+    let mut digest = 0x9e4fu64;
+    for cell in buf {
+        let (ones, d) = cell.expect("every queried player answered");
+        total += ones;
+        digest = mix(digest, mix(ones, d));
+    }
+    Response::Preferences {
+        session,
+        players: buf.len() as u32,
+        ones: total,
+        digest,
+    }
+}
+
+/// Where a single shardable op should run: computed by the socket
+/// dispatcher under a shared engine lock, executed on the owning shard's
+/// worker thread.
+pub(crate) enum Routed {
+    /// Validation failed; answer immediately with this response.
+    Reject(Response),
+    /// A probe, owned entirely by one shard.
+    Probe {
+        /// Owning shard of the probing player.
+        shard: usize,
+    },
+    /// A query split by owning shard; partials merge by original
+    /// position via [`merge_preferences`].
+    Query {
+        /// Total players queried (the merge-buffer width).
+        width: usize,
+        /// Per-shard member lists: `(shard, [(original position, player)])`.
+        parts: Vec<(usize, Vec<(usize, u32)>)>,
+    },
+}
+
+impl ServiceEngine {
+    /// The shared bulletin board (for shard workers posting probe claims).
+    pub(crate) fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Resolve an open session for a shard job.
+    pub(crate) fn session(&self, sid: u64) -> Result<&SessionState, ServiceError> {
+        session_ref(&self.sessions, sid)
+    }
+
+    /// Validate and route one shardable op exactly as a batch flush
+    /// would bucket it: same validation order, same shard key
+    /// (`shard_of` from the group graph), same query split.
+    pub(crate) fn route_shardable(&self, req: &Request) -> Routed {
+        match req {
+            Request::SubmitProbes {
+                session,
+                player,
+                objects,
+            } => {
+                let state = match session_ref(&self.sessions, *session) {
+                    Ok(s) => s,
+                    Err(e) => return Routed::Reject(Response::Rejected(e)),
+                };
+                if let Some(resp) = validate(state, *session, &[*player], Some(objects)) {
+                    return Routed::Reject(resp);
+                }
+                Routed::Probe {
+                    shard: state.shard_of[*player as usize] as usize,
+                }
+            }
+            Request::QueryPreferences {
+                session,
+                players,
+                objects,
+            } => {
+                let state = match session_ref(&self.sessions, *session) {
+                    Ok(s) => s,
+                    Err(e) => return Routed::Reject(Response::Rejected(e)),
+                };
+                if players.is_empty() {
+                    return Routed::Reject(Response::Rejected(ServiceError::EmptyQuery(*session)));
+                }
+                if let Some(resp) = validate(state, *session, players, objects.as_deref()) {
+                    return Routed::Reject(resp);
+                }
+                let mut parts: Vec<Vec<(usize, u32)>> =
+                    (0..self.shards).map(|_| Vec::new()).collect();
+                for (pos, &p) in players.iter().enumerate() {
+                    parts[state.shard_of[p as usize] as usize].push((pos, p));
+                }
+                Routed::Query {
+                    width: players.len(),
+                    parts: parts
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(_, members)| !members.is_empty())
+                        .collect(),
+                }
+            }
+            _ => unreachable!("only shardable ops are routed"),
+        }
     }
 }
 

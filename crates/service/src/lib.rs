@@ -22,11 +22,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod net;
 mod request;
+pub mod wire;
 pub mod workload;
 
 pub use engine::{ServiceEngine, DEFAULT_SHARDS, TAG_SERVICE};
+pub use net::{NetConfig, Server, SocketReplay};
 pub use request::{
     combined_digest, mix, Request, Response, ServiceAlgorithm, ServiceError, SessionSpec,
 };
-pub use workload::{parse_op, OpMix, Trace, TraceError, TraceSpec, TRACE_VERSION};
+pub use wire::{StatsSnapshot, MAX_FRAME_BYTES, WIRE_VERSION};
+pub use workload::{
+    format_op, parse_digests, parse_op, OpMix, Trace, TraceError, TraceSpec, TRACE_VERSION,
+};

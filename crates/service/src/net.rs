@@ -1,0 +1,900 @@
+//! TCP front-end for the service engine: threaded server, admission
+//! control, and the socket replay client.
+//!
+//! # Topology
+//!
+//! ```text
+//! clients ──► acceptor ──► connection threads (one per socket)
+//!                              │ try_send            ╲ full → typed Busy
+//!                              ▼
+//!                    bounded admission queue
+//!                              │ recv (FIFO)
+//!                              ▼
+//!                         dispatcher ──────────────► barrier ops:
+//!                              │ route under            drain shards,
+//!                              │ engine read lock       engine write lock
+//!                              ▼
+//!                  bounded per-shard queues
+//!                              │
+//!                              ▼
+//!                 shard workers (engine read lock)
+//! ```
+//!
+//! # Why answers stay bit-identical to the in-process replay
+//!
+//! The batch engine's contract is: shardable ops (probes and preference
+//! queries) may execute in any order between *barriers* (open, churn,
+//! epoch, close), which serialize. The socket path preserves exactly
+//! that contract with OS threads instead of batch buckets:
+//!
+//! * Shardable ops are validated and routed by the single dispatcher
+//!   thread using [`ServiceEngine::route_shardable`] — the same
+//!   validation order and group-graph shard key as a batch flush — and
+//!   then executed on per-shard worker threads under a shared lock.
+//!   Probe side effects commute (memoized oracle, same-value board
+//!   claims) and queries are pure reads, so worker interleaving is
+//!   unobservable.
+//! * A barrier op makes the dispatcher first drain every shard queue
+//!   (an outstanding-job counter on a condvar), then run
+//!   [`ServiceEngine`]'s barrier path under the exclusive lock. Every
+//!   op admitted before the barrier is therefore fully applied before
+//!   the world transition, exactly like the batch flush.
+//! * Overload is refused *at admission*: a full queue answers a typed
+//!   [`Response::Busy`] and executes nothing. An op that was accepted
+//!   is never dropped — queue hand-offs past admission block instead
+//!   of failing, so backpressure propagates to the client.
+//!
+//! The [`replay_over_socket`] client adds the client-side half of the
+//! ordering argument: all ops of a session ride one connection, opens
+//! are globally serialized (session ids are assigned in open order),
+//! and a session's barrier is only sent after all its earlier ops have
+//! been answered. Busy retries therefore reorder shardable ops only
+//! within a barrier-free window, where order does not matter.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::engine::{merge_preferences, probe_response, query_part, Routed, ServiceEngine};
+use crate::request::{Request, Response, ServiceError};
+use crate::wire::{read_frame, write_frame, ClientFrame, ServerFrame, StatsSnapshot, WIRE_VERSION};
+use crate::workload::{format_op, parse_op};
+
+/// Tuning knobs for [`Server`]. The defaults match the batch engine's
+/// shard count and keep the admission queue small enough that overload
+/// surfaces as `Busy` quickly instead of as latency.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Shard worker threads (and engine shard count).
+    pub shards: usize,
+    /// Capacity of the admission queue and of each per-shard queue.
+    pub queue_depth: usize,
+    /// Retry delay suggested in `Busy` answers.
+    pub retry_after_ms: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            shards: crate::engine::DEFAULT_SHARDS,
+            queue_depth: 256,
+            retry_after_ms: 2,
+        }
+    }
+}
+
+/// A bound TCP front-end around a fresh [`ServiceEngine`]. Construct
+/// with [`Server::bind`], then call [`Server::run`] (blocking) — it
+/// returns the final [`StatsSnapshot`] once a client sends a
+/// `shutdown` frame.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: NetConfig,
+}
+
+impl Server {
+    /// Bind the listener. Pass port 0 to let the OS choose (read it
+    /// back with [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serve until a client sends a `shutdown` frame, then drain all
+    /// queues and return the lifetime counters.
+    pub fn run(self) -> StatsSnapshot {
+        let config = self.config;
+        let engine = Arc::new(RwLock::new(ServiceEngine::with_shards(config.shards)));
+        let stats = Arc::new(StatsInner::new());
+        let outstanding = Arc::new(ShardDrain::default());
+
+        // Per-shard worker threads: execute probe/query-part jobs under
+        // the shared engine lock.
+        let mut shard_txs = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardJob>(config.queue_depth);
+            shard_txs.push(tx);
+            let engine = engine.clone();
+            let outstanding = outstanding.clone();
+            workers.push(thread::spawn(move || shard_worker(rx, engine, outstanding)));
+        }
+
+        // The dispatcher: the only thread that submits shard jobs or
+        // runs barriers, which is what makes drain-before-barrier a
+        // local argument instead of a distributed one.
+        let (admission_tx, admission_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+        let dispatcher = {
+            let engine = engine.clone();
+            let stats = stats.clone();
+            let outstanding = outstanding.clone();
+            thread::spawn(move || dispatch(admission_rx, shard_txs, engine, stats, outstanding))
+        };
+
+        // Accept loop. Connection threads are joined before the
+        // admission sender drops so the dispatcher drains completely.
+        let ctx = Arc::new(ConnCtx {
+            engine: engine.clone(),
+            stats: stats.clone(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            local_addr: self.local_addr,
+            retry_after_ms: config.retry_after_ms,
+        });
+        let mut conn_threads = Vec::new();
+        let mut next_conn_id = 0u64;
+        for stream in self.listener.incoming() {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let id = next_conn_id;
+            next_conn_id += 1;
+            let ctx = ctx.clone();
+            let tx = admission_tx.clone();
+            conn_threads.push(thread::spawn(move || serve_connection(stream, tx, ctx, id)));
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        drop(admission_tx);
+        let _ = dispatcher.join();
+        for w in workers {
+            let _ = w.join();
+        }
+
+        let open_sessions = engine.read().unwrap().open_sessions() as u64;
+        stats.snapshot(open_sessions)
+    }
+}
+
+/// One admitted op waiting for the dispatcher.
+struct Job {
+    req: Request,
+    reply: ReplyTo,
+}
+
+/// One unit of shard work.
+enum ShardJob {
+    /// A whole probe op, owned by one shard.
+    Probe {
+        session: u64,
+        player: u32,
+        objects: Vec<u32>,
+        reply: ReplyTo,
+    },
+    /// One shard's slice of a preference query.
+    Query {
+        members: Vec<(usize, u32)>,
+        objects: Arc<Option<Vec<u32>>>,
+        cell: Arc<MergeCell>,
+    },
+}
+
+/// Per-player query partial: `(ones, digest)` for one queried member,
+/// `None` until its shard fills the slot. Paired with a countdown of
+/// unfilled slots so the last shard knows to fold and answer.
+type QuerySlots = (Vec<Option<(u64, u64)>>, usize);
+
+/// Merge buffer for a cross-shard query: the last shard to fill its
+/// slice folds the partials (in original request order) and answers.
+struct MergeCell {
+    session: u64,
+    slots: Mutex<QuerySlots>,
+    reply: ReplyTo,
+}
+
+/// Where and how to answer an admitted op.
+struct ReplyTo {
+    conn: Arc<Mutex<TcpStream>>,
+    seq: u64,
+    admitted: Instant,
+    stats: Arc<StatsInner>,
+}
+
+impl ReplyTo {
+    /// Write the final answer, count it, and record its latency. Write
+    /// errors are ignored: the op has executed either way, and a client
+    /// that hung up simply misses its answer.
+    fn answer(&self, resp: &Response) {
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .record_latency(self.admitted.elapsed().as_micros() as u64);
+        let frame = ServerFrame::Resp {
+            seq: self.seq,
+            response: resp.clone(),
+        };
+        let mut conn = self.conn.lock().unwrap();
+        let _ = write_frame(&mut *conn, frame.encode().as_bytes());
+    }
+}
+
+/// Outstanding shard-job counter: barriers wait on it to drain.
+#[derive(Default)]
+struct ShardDrain {
+    count: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl ShardDrain {
+    fn add(&self, n: usize) {
+        *self.count.lock().unwrap() += n;
+    }
+
+    fn done_one(&self) {
+        let mut count = self.count.lock().unwrap();
+        *count -= 1;
+        if *count == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut count = self.count.lock().unwrap();
+        while *count > 0 {
+            count = self.idle.wait(count).unwrap();
+        }
+    }
+}
+
+fn shard_worker(
+    rx: Receiver<ShardJob>,
+    engine: Arc<RwLock<ServiceEngine>>,
+    drain: Arc<ShardDrain>,
+) {
+    while let Ok(job) = rx.recv() {
+        {
+            let engine = engine.read().unwrap();
+            match job {
+                ShardJob::Probe {
+                    session,
+                    player,
+                    objects,
+                    reply,
+                } => {
+                    // The dispatcher validated the session while routing
+                    // and no barrier (the only thing that closes one)
+                    // can run until this job drains.
+                    let state = engine
+                        .session(session)
+                        .expect("routed probe outlives its session");
+                    let resp = probe_response(engine.board(), state, session, player, &objects);
+                    reply.answer(&resp);
+                }
+                ShardJob::Query {
+                    members,
+                    objects,
+                    cell,
+                } => {
+                    let state = engine
+                        .session(cell.session)
+                        .expect("routed query outlives its session");
+                    let part = query_part(state, &members, objects.as_deref());
+                    let mut slots = cell.slots.lock().unwrap();
+                    for (pos, ones, digest) in part {
+                        slots.0[pos] = Some((ones, digest));
+                    }
+                    slots.1 -= 1;
+                    if slots.1 == 0 {
+                        let resp = merge_preferences(cell.session, &slots.0);
+                        cell.reply.answer(&resp);
+                    }
+                }
+            }
+        }
+        drain.done_one();
+    }
+}
+
+fn dispatch(
+    admission_rx: Receiver<Job>,
+    shard_txs: Vec<SyncSender<ShardJob>>,
+    engine: Arc<RwLock<ServiceEngine>>,
+    stats: Arc<StatsInner>,
+    drain: Arc<ShardDrain>,
+) {
+    while let Ok(Job { req, reply }) = admission_rx.recv() {
+        stats.depth.fetch_sub(1, Ordering::Relaxed);
+        if req.is_shardable() {
+            let routed = engine.read().unwrap().route_shardable(&req);
+            match routed {
+                Routed::Reject(resp) => reply.answer(&resp),
+                Routed::Probe { shard } => {
+                    let Request::SubmitProbes {
+                        session,
+                        player,
+                        objects,
+                    } = req
+                    else {
+                        unreachable!("probe routing for a non-probe op");
+                    };
+                    drain.add(1);
+                    // Blocking send: an accepted op is never dropped;
+                    // a full shard queue backs pressure up to admission.
+                    shard_txs[shard]
+                        .send(ShardJob::Probe {
+                            session,
+                            player,
+                            objects,
+                            reply,
+                        })
+                        .expect("shard worker outlives the dispatcher");
+                }
+                Routed::Query { width, parts } => {
+                    let Request::QueryPreferences {
+                        session, objects, ..
+                    } = req
+                    else {
+                        unreachable!("query routing for a non-query op");
+                    };
+                    let objects = Arc::new(objects);
+                    let cell = Arc::new(MergeCell {
+                        session,
+                        slots: Mutex::new((vec![None; width], parts.len())),
+                        reply,
+                    });
+                    drain.add(parts.len());
+                    for (shard, members) in parts {
+                        shard_txs[shard]
+                            .send(ShardJob::Query {
+                                members,
+                                objects: objects.clone(),
+                                cell: cell.clone(),
+                            })
+                            .expect("shard worker outlives the dispatcher");
+                    }
+                }
+            }
+        } else {
+            // Barrier: every admitted shardable op finishes first, so
+            // the world transition sees exactly the ops admitted before
+            // it — the batch flush contract, verbatim.
+            drain.wait_idle();
+            let resp = engine.write().unwrap().barrier(&req);
+            reply.answer(&resp);
+        }
+    }
+}
+
+/// Shared state the connection threads need.
+struct ConnCtx {
+    engine: Arc<RwLock<ServiceEngine>>,
+    stats: Arc<StatsInner>,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    local_addr: SocketAddr,
+    retry_after_ms: u32,
+}
+
+impl ConnCtx {
+    /// Flip the shutdown flag, poke the acceptor awake, and unblock
+    /// every connection thread's pending read.
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        for (_, conn) in self.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, admission_tx: SyncSender<Job>, ctx: Arc<ConnCtx>, id: u64) {
+    if let Ok(clone) = stream.try_clone() {
+        ctx.conns.lock().unwrap().push((id, clone));
+    }
+    connection_loop(&stream, admission_tx, &ctx);
+    // Sever the socket itself, not just this handle: the registry clone
+    // (and any straggler reply handle) keeps the fd alive, and without
+    // an explicit shutdown the peer would never see EOF.
+    let _ = stream.shutdown(Shutdown::Both);
+    ctx.conns.lock().unwrap().retain(|(cid, _)| *cid != id);
+}
+
+fn connection_loop(stream: &TcpStream, admission_tx: SyncSender<Job>, ctx: &Arc<ConnCtx>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let send = |frame: &ServerFrame| {
+        let mut w = writer.lock().unwrap();
+        write_frame(&mut *w, frame.encode().as_bytes())
+    };
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean EOF, a lying length prefix (no way to resync), or a
+            // shutdown-severed socket: either way this stream is done.
+            Ok(None) => return,
+            Err(e) => {
+                let _ = send(&ServerFrame::Err {
+                    seq: 0,
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
+        let Ok(text) = std::str::from_utf8(&payload) else {
+            // Framing is still intact (the length prefix was honest),
+            // so answer typed and keep the connection alive.
+            let _ = send(&ServerFrame::Err {
+                seq: 0,
+                message: "frame payload is not UTF-8".to_string(),
+            });
+            continue;
+        };
+        let frame = match ClientFrame::decode(text) {
+            Ok(f) => f,
+            Err(message) => {
+                let _ = send(&ServerFrame::Err { seq: 0, message });
+                continue;
+            }
+        };
+        match frame {
+            ClientFrame::Hello => {
+                if send(&ServerFrame::Hello).is_err() {
+                    return;
+                }
+            }
+            ClientFrame::Op { seq, line } => match parse_op(&line) {
+                Err(message) => {
+                    // The satellite bugfix, shared with the stdin loop:
+                    // a malformed op line is a typed rejection, not a
+                    // dead session.
+                    ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    let _ = send(&ServerFrame::Resp {
+                        seq,
+                        response: Response::Rejected(ServiceError::Malformed { message }),
+                    });
+                }
+                Ok(req) => {
+                    let job = Job {
+                        req,
+                        reply: ReplyTo {
+                            conn: writer.clone(),
+                            seq,
+                            admitted: Instant::now(),
+                            stats: ctx.stats.clone(),
+                        },
+                    };
+                    ctx.stats.depth_enter();
+                    match admission_tx.try_send(job) {
+                        Ok(()) => {
+                            ctx.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            ctx.stats.depth_leave();
+                            ctx.stats.busy.fetch_add(1, Ordering::Relaxed);
+                            let _ = send(&ServerFrame::Resp {
+                                seq,
+                                response: Response::Busy {
+                                    retry_after_ms: ctx.retry_after_ms,
+                                },
+                            });
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            ctx.stats.depth_leave();
+                            return;
+                        }
+                    }
+                }
+            },
+            ClientFrame::Stats { seq } => {
+                let open_sessions = ctx.engine.read().unwrap().open_sessions() as u64;
+                let _ = send(&ServerFrame::Stats {
+                    seq,
+                    stats: ctx.stats.snapshot(open_sessions),
+                });
+            }
+            ClientFrame::Shutdown { seq } => {
+                let _ = send(&ServerFrame::Bye { seq });
+                ctx.trigger_shutdown();
+                return;
+            }
+        }
+    }
+}
+
+/// Lock-free lifetime counters plus a log₂ latency histogram.
+struct StatsInner {
+    admitted: AtomicU64,
+    busy: AtomicU64,
+    malformed: AtomicU64,
+    completed: AtomicU64,
+    depth: AtomicU64,
+    depth_peak: AtomicU64,
+    latency_us: [AtomicU64; 64],
+}
+
+impl StatsInner {
+    fn new() -> StatsInner {
+        StatsInner {
+            admitted: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            depth_peak: AtomicU64::new(0),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Count a queue slot *before* the `try_send` that fills it — the
+    /// dispatcher may drain the job (and decrement the gauge) before
+    /// the admitting thread runs another instruction, so incrementing
+    /// after the send would race the gauge below zero.
+    fn depth_enter(&self) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Undo [`StatsInner::depth_enter`] when admission failed.
+    fn depth_leave(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn record_latency(&self, micros: u64) {
+        let bucket = if micros == 0 {
+            0
+        } else {
+            (64 - micros.leading_zeros() as usize).min(63)
+        };
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn percentile(&self, counts: &[u64; 64], total: u64, numer: u64, denom: u64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let rank = (total * numer).div_ceil(denom).max(1);
+        let mut seen = 0;
+        for (bucket, &n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
+            }
+        }
+        1u64 << 62
+    }
+
+    fn snapshot(&self, open_sessions: u64) -> StatsSnapshot {
+        let counts: [u64; 64] = std::array::from_fn(|i| self.latency_us[i].load(Ordering::Relaxed));
+        let total: u64 = counts.iter().sum();
+        StatsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            busy_rejected: self.busy.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            open_sessions,
+            queue_depth_peak: self.depth_peak.load(Ordering::Relaxed),
+            p50_us: self.percentile(&counts, total, 1, 2),
+            p99_us: self.percentile(&counts, total, 99, 100),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// What [`replay_over_socket`] brings back.
+#[derive(Clone, Debug)]
+pub struct SocketReplay {
+    /// Final answer per trace op, in trace order — digests over this
+    /// vector are comparable to `ServiceEngine::execute` output.
+    pub responses: Vec<Response>,
+    /// How many `Busy` answers were retried along the way (overload
+    /// evidence; zero information content for the digest).
+    pub busy_retries: u64,
+}
+
+/// Max in-flight shardable ops per connection before the client reaps
+/// answers.
+const PIPELINE_WINDOW: usize = 64;
+
+/// Cap on the honored `Busy` retry delay.
+const MAX_RETRY_MS: u64 = 50;
+
+/// Replay a trace over TCP across `connections` sockets and collect
+/// the final answers in trace order.
+///
+/// Ordering contract (see the module docs): every op of a session uses
+/// the connection `session_id % connections`; an `Open` drains all
+/// connections and is awaited (ids are assigned in open order, so the
+/// k-th open of a fresh server gets id k); any other barrier drains and
+/// is awaited on its session's connection; shardable ops pipeline up to
+/// [`PIPELINE_WINDOW`] deep. `Busy` answers are retried after the
+/// suggested delay and never appear in `responses`.
+pub fn replay_over_socket(
+    addr: impl ToSocketAddrs,
+    ops: &[Request],
+    connections: usize,
+) -> io::Result<SocketReplay> {
+    let connections = connections.max(1);
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to"))?;
+    let mut client = ReplayClient::connect(addr, connections)?;
+    let mut opens_sent = 0usize;
+    for (index, op) in ops.iter().enumerate() {
+        let seq = index as u64;
+        match op {
+            Request::Open(_) => {
+                let conn = opens_sent % connections;
+                opens_sent += 1;
+                client.drain_all()?;
+                client.send_op(conn, seq, op)?;
+                client.await_answer(seq)?;
+            }
+            _ if !op.is_shardable() => {
+                let conn = op.session().expect("non-open op has a session") as usize % connections;
+                client.drain_conn(conn)?;
+                client.send_op(conn, seq, op)?;
+                client.await_answer(seq)?;
+            }
+            _ => {
+                let conn = op.session().expect("shardable op has a session") as usize % connections;
+                while client.in_flight[conn] >= PIPELINE_WINDOW {
+                    client.pump_one()?;
+                }
+                client.send_op(conn, seq, op)?;
+            }
+        }
+    }
+    client.drain_all()?;
+    let responses = client
+        .responses
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("op {i} finished the replay unanswered")))
+        .collect();
+    Ok(SocketReplay {
+        responses,
+        busy_retries: client.busy_retries,
+    })
+}
+
+/// An answered-or-dead message from one reader thread.
+enum Event {
+    Frame(ServerFrame),
+    Closed(usize),
+}
+
+struct ReplayClient {
+    writers: Vec<TcpStream>,
+    events: mpsc::Receiver<Event>,
+    /// `seq → (connection, op line)` for everything not yet answered —
+    /// the line is kept so a `Busy` answer can resend verbatim.
+    pending: HashMap<u64, (usize, String)>,
+    in_flight: Vec<usize>,
+    responses: Vec<Option<Response>>,
+    busy_retries: u64,
+}
+
+impl ReplayClient {
+    fn connect(addr: SocketAddr, connections: usize) -> io::Result<ReplayClient> {
+        let (event_tx, events) = mpsc::channel::<Event>();
+        let mut writers = Vec::with_capacity(connections);
+        for conn in 0..connections {
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            handshake(&mut stream)?;
+            let mut reader = stream.try_clone()?;
+            writers.push(stream);
+            let event_tx = event_tx.clone();
+            thread::spawn(move || {
+                while let Ok(Some(payload)) = read_frame(&mut reader) {
+                    let frame = std::str::from_utf8(&payload)
+                        .ok()
+                        .and_then(|t| ServerFrame::decode(t).ok());
+                    match frame {
+                        Some(f) => {
+                            if event_tx.send(Event::Frame(f)).is_err() {
+                                return;
+                            }
+                        }
+                        // An undecodable server frame means the stream
+                        // is unusable; report the close.
+                        None => break,
+                    }
+                }
+                let _ = event_tx.send(Event::Closed(conn));
+            });
+        }
+        Ok(ReplayClient {
+            writers,
+            events,
+            pending: HashMap::new(),
+            in_flight: vec![0; connections],
+            responses: Vec::new(),
+            busy_retries: 0,
+        })
+    }
+
+    fn send_op(&mut self, conn: usize, seq: u64, op: &Request) -> io::Result<()> {
+        let line = format_op(op);
+        self.send_line(conn, seq, &line)?;
+        self.pending.insert(seq, (conn, line));
+        self.in_flight[conn] += 1;
+        if self.responses.len() <= seq as usize {
+            self.responses.resize(seq as usize + 1, None);
+        }
+        Ok(())
+    }
+
+    fn send_line(&mut self, conn: usize, seq: u64, line: &str) -> io::Result<()> {
+        let frame = ClientFrame::Op {
+            seq,
+            line: line.to_string(),
+        };
+        write_frame(&mut self.writers[conn], frame.encode().as_bytes())
+    }
+
+    /// Receive and apply one event: record an answer, or resend on
+    /// `Busy` after the suggested delay.
+    fn pump_one(&mut self) -> io::Result<()> {
+        let event = self
+            .events
+            .recv()
+            .map_err(|_| broken("every reader thread died mid-replay"))?;
+        match event {
+            Event::Closed(conn) => {
+                if self.in_flight[conn] > 0 {
+                    return Err(broken("server closed a connection with ops in flight"));
+                }
+                Ok(())
+            }
+            Event::Frame(ServerFrame::Resp { seq, response }) => {
+                if let Response::Busy { retry_after_ms } = response {
+                    self.busy_retries += 1;
+                    let (conn, line) = self
+                        .pending
+                        .get(&seq)
+                        .cloned()
+                        .ok_or_else(|| broken("Busy answer for an unknown sequence number"))?;
+                    thread::sleep(Duration::from_millis(
+                        u64::from(retry_after_ms).min(MAX_RETRY_MS),
+                    ));
+                    self.send_line(conn, seq, &line)
+                } else {
+                    let (conn, _) = self
+                        .pending
+                        .remove(&seq)
+                        .ok_or_else(|| broken("answer for an unknown sequence number"))?;
+                    self.in_flight[conn] -= 1;
+                    self.responses[seq as usize] = Some(response);
+                    Ok(())
+                }
+            }
+            Event::Frame(ServerFrame::Err { message, .. }) => {
+                Err(broken(&format!("server protocol error: {message}")))
+            }
+            Event::Frame(_) => Ok(()),
+        }
+    }
+
+    fn drain_conn(&mut self, conn: usize) -> io::Result<()> {
+        while self.in_flight[conn] > 0 {
+            self.pump_one()?;
+        }
+        Ok(())
+    }
+
+    fn drain_all(&mut self) -> io::Result<()> {
+        while self.in_flight.iter().sum::<usize>() > 0 {
+            self.pump_one()?;
+        }
+        Ok(())
+    }
+
+    fn await_answer(&mut self, seq: u64) -> io::Result<()> {
+        while self.responses[seq as usize].is_none() {
+            self.pump_one()?;
+        }
+        Ok(())
+    }
+}
+
+fn broken(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Exchange `hello` frames on a fresh connection.
+fn handshake(stream: &mut (impl Read + Write)) -> io::Result<()> {
+    write_frame(stream, ClientFrame::Hello.encode().as_bytes())?;
+    let payload = read_frame(stream)?
+        .ok_or_else(|| broken("server closed before answering the handshake"))?;
+    let text = std::str::from_utf8(&payload).map_err(|_| broken("handshake is not UTF-8"))?;
+    match ServerFrame::decode(text) {
+        Ok(ServerFrame::Hello) => Ok(()),
+        Ok(other) => Err(broken(&format!(
+            "expected a {WIRE_VERSION} hello, got {other:?}"
+        ))),
+        Err(message) => Err(broken(&message)),
+    }
+}
+
+/// Ask a running server for its counters over a fresh connection.
+pub fn request_stats(addr: impl ToSocketAddrs) -> io::Result<StatsSnapshot> {
+    let mut stream = TcpStream::connect(addr)?;
+    handshake(&mut stream)?;
+    write_frame(
+        &mut stream,
+        ClientFrame::Stats { seq: 1 }.encode().as_bytes(),
+    )?;
+    loop {
+        let payload =
+            read_frame(&mut stream)?.ok_or_else(|| broken("server closed before the stats"))?;
+        let text = std::str::from_utf8(&payload).map_err(|_| broken("stats frame is not UTF-8"))?;
+        match ServerFrame::decode(text).map_err(|m| broken(&m))? {
+            ServerFrame::Stats { stats, .. } => return Ok(stats),
+            ServerFrame::Err { message, .. } => {
+                return Err(broken(&format!("server protocol error: {message}")))
+            }
+            _ => continue,
+        }
+    }
+}
+
+/// Ask a running server to drain and exit; returns once the `bye` is
+/// acknowledged.
+pub fn request_shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    handshake(&mut stream)?;
+    write_frame(
+        &mut stream,
+        ClientFrame::Shutdown { seq: 1 }.encode().as_bytes(),
+    )?;
+    loop {
+        let payload = read_frame(&mut stream)?
+            .ok_or_else(|| broken("server closed before acknowledging shutdown"))?;
+        let text = std::str::from_utf8(&payload).map_err(|_| broken("bye frame is not UTF-8"))?;
+        match ServerFrame::decode(text).map_err(|m| broken(&m))? {
+            ServerFrame::Bye { .. } => return Ok(()),
+            ServerFrame::Err { message, .. } => {
+                return Err(broken(&format!("server protocol error: {message}")))
+            }
+            _ => continue,
+        }
+    }
+}

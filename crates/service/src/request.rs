@@ -236,10 +236,19 @@ pub enum Response {
     },
     /// The request was rejected; the engine state is unchanged.
     Rejected(ServiceError),
+    /// The server's admission queue was full; nothing was executed and
+    /// the op may be resent after the given delay. Only the socket
+    /// front-end emits this — an op the engine *accepted* is never
+    /// answered with `Busy`, so replay digests (which fold only final
+    /// answers) are unaffected by transient overload.
+    Busy {
+        /// Suggested client-side retry delay.
+        retry_after_ms: u32,
+    },
 }
 
 /// Why the engine rejected a request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
     /// No session was ever opened under this id.
     UnknownSession(u64),
@@ -265,6 +274,14 @@ pub enum ServiceError {
     },
     /// A preference query named no players.
     EmptyQuery(u64),
+    /// The request text could not be parsed at all (bad op line on the
+    /// stdin loop, bad frame payload on the socket). Typed so that every
+    /// input — however mangled — still gets a digestible answer instead
+    /// of tearing down the session loop or the connection.
+    Malformed {
+        /// What failed to parse, human-readable.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -289,6 +306,7 @@ impl std::fmt::Display for ServiceError {
                 "object {object} out of range {objects} in session {session}"
             ),
             ServiceError::EmptyQuery(s) => write!(f, "empty preference query on session {s}"),
+            ServiceError::Malformed { message } => write!(f, "malformed request: {message}"),
         }
     }
 }
@@ -307,26 +325,39 @@ pub fn mix(h: u64, v: u64) -> u64 {
 
 impl Response {
     fn error_digest(e: &ServiceError) -> u64 {
-        match *e {
-            ServiceError::UnknownSession(s) => mix(mix(0xe1, 1), s),
-            ServiceError::SessionClosed(s) => mix(mix(0xe1, 2), s),
+        match e {
+            ServiceError::UnknownSession(s) => mix(mix(0xe1, 1), *s),
+            ServiceError::SessionClosed(s) => mix(mix(0xe1, 2), *s),
             ServiceError::PlayerOutOfRange {
                 session,
                 player,
                 players,
             } => mix(
-                mix(mix(mix(0xe1, 3), session), player as u64),
-                players as u64,
+                mix(mix(mix(0xe1, 3), *session), *player as u64),
+                *players as u64,
             ),
             ServiceError::ObjectOutOfRange {
                 session,
                 object,
                 objects,
             } => mix(
-                mix(mix(mix(0xe1, 4), session), object as u64),
-                objects as u64,
+                mix(mix(mix(0xe1, 4), *session), *object as u64),
+                *objects as u64,
             ),
-            ServiceError::EmptyQuery(s) => mix(mix(0xe1, 5), s),
+            ServiceError::EmptyQuery(s) => mix(mix(0xe1, 5), *s),
+            ServiceError::Malformed { message } => {
+                // Fold the message bytes so distinct parse failures digest
+                // apart; messages are deterministic strings, so this stays
+                // host-invariant.
+                let mut h = mix(0xe1, 6);
+                h = mix(h, message.len() as u64);
+                for chunk in message.as_bytes().chunks(8) {
+                    let mut word = [0u8; 8];
+                    word[..chunk.len()].copy_from_slice(chunk);
+                    h = mix(h, u64::from_le_bytes(word));
+                }
+                h
+            }
         }
     }
 
@@ -389,6 +420,7 @@ impl Response {
                 freed_slots,
             } => mix(mix(mix(0x5d, 6), *session), *freed_slots),
             Response::Rejected(e) => mix(mix(0x5d, 7), Self::error_digest(e)),
+            Response::Busy { retry_after_ms } => mix(mix(0x5d, 8), *retry_after_ms as u64),
         }
     }
 }

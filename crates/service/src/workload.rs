@@ -251,54 +251,8 @@ impl Trace {
         out.push_str(TRACE_VERSION);
         out.push('\n');
         for op in &self.ops {
-            match op {
-                Request::Open(s) => {
-                    out.push_str(&format!(
-                        "open {} {} {} {} {} {} {} {} {} {}\n",
-                        s.players,
-                        s.objects,
-                        s.clusters,
-                        s.diameter,
-                        s.world_seed,
-                        s.algorithm.name(),
-                        s.budget,
-                        s.corrupt,
-                        s.drift_ppm,
-                        s.score_seed
-                    ));
-                }
-                Request::SubmitProbes {
-                    session,
-                    player,
-                    objects,
-                } => {
-                    out.push_str(&format!("probe {session} {player} {}\n", join_ids(objects)));
-                }
-                Request::QueryPreferences {
-                    session,
-                    players,
-                    objects,
-                } => {
-                    let objs = match objects {
-                        None => "-".to_string(),
-                        Some(o) => join_ids(o),
-                    };
-                    out.push_str(&format!("query {session} {} {objs}\n", join_ids(players)));
-                }
-                Request::ApplyChurn {
-                    session,
-                    retire,
-                    join,
-                } => {
-                    out.push_str(&format!("churn {session} {retire} {join}\n"));
-                }
-                Request::AdvanceEpoch { session } => {
-                    out.push_str(&format!("epoch {session}\n"));
-                }
-                Request::CloseSession { session } => {
-                    out.push_str(&format!("close {session}\n"));
-                }
-            }
+            out.push_str(&format_op(op));
+            out.push('\n');
         }
         out
     }
@@ -337,7 +291,7 @@ fn skewed(rng: &mut SmallRng, n: usize, skew: u32) -> u32 {
         .expect("at least one draw")
 }
 
-fn join_ids(ids: &[u32]) -> String {
+pub(crate) fn join_ids(ids: &[u32]) -> String {
     let mut s = String::with_capacity(ids.len() * 3);
     for (i, id) in ids.iter().enumerate() {
         if i > 0 {
@@ -348,7 +302,7 @@ fn join_ids(ids: &[u32]) -> String {
     s
 }
 
-fn split_ids(field: &str) -> Result<Vec<u32>, String> {
+pub(crate) fn split_ids(field: &str) -> Result<Vec<u32>, String> {
     field
         .split(',')
         .map(|t| {
@@ -358,10 +312,54 @@ fn split_ids(field: &str) -> Result<Vec<u32>, String> {
         .collect()
 }
 
-fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+pub(crate) fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
     tok.ok_or_else(|| format!("missing {what}"))?
         .parse::<T>()
         .map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+/// Serialize one op as its trace line (no trailing newline) — the exact
+/// inverse of [`parse_op`], shared by [`Trace::to_text`] and the wire
+/// protocol's request frames.
+pub fn format_op(op: &Request) -> String {
+    match op {
+        Request::Open(s) => format!(
+            "open {} {} {} {} {} {} {} {} {} {}",
+            s.players,
+            s.objects,
+            s.clusters,
+            s.diameter,
+            s.world_seed,
+            s.algorithm.name(),
+            s.budget,
+            s.corrupt,
+            s.drift_ppm,
+            s.score_seed
+        ),
+        Request::SubmitProbes {
+            session,
+            player,
+            objects,
+        } => format!("probe {session} {player} {}", join_ids(objects)),
+        Request::QueryPreferences {
+            session,
+            players,
+            objects,
+        } => {
+            let objs = match objects {
+                None => "-".to_string(),
+                Some(o) => join_ids(o),
+            };
+            format!("query {session} {} {objs}", join_ids(players))
+        }
+        Request::ApplyChurn {
+            session,
+            retire,
+            join,
+        } => format!("churn {session} {retire} {join}"),
+        Request::AdvanceEpoch { session } => format!("epoch {session}"),
+        Request::CloseSession { session } => format!("close {session}"),
+    }
 }
 
 /// Parse one op line (shared by [`Trace::from_text`] and the `scored`
@@ -417,6 +415,37 @@ pub fn parse_op(line: &str) -> Result<Request, String> {
     Ok(op)
 }
 
+/// Parse the committed `traces/DIGESTS` manifest: one
+/// `<trace file name> <16-hex-digit combined digest>` pair per line,
+/// `#` comments and blank lines ignored. This file is the single source
+/// of truth for the pinned replay digests — `tests/determinism.rs`, the
+/// CI replay gates, and the e17 socket table all read it, so rotating a
+/// trace is a one-file edit.
+pub fn parse_digests(text: &str) -> Result<Vec<(String, u64)>, TraceError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let name = toks.next().expect("non-empty line has a first token");
+        let digest = toks
+            .next()
+            .ok_or_else(|| err(i + 1, format!("missing digest after {name:?}")))?;
+        if digest.len() != 16 || toks.next().is_some() {
+            return Err(err(
+                i + 1,
+                format!("expected `<name> <16-hex digest>`, got {line:?}"),
+            ));
+        }
+        let value = u64::from_str_radix(digest, 16)
+            .map_err(|_| err(i + 1, format!("bad digest {digest:?}")))?;
+        out.push((name.to_string(), value));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +492,36 @@ mod tests {
         let text = format!("{TRACE_VERSION}\n\n# a comment\nepoch 0\n");
         let trace = Trace::from_text(&text).expect("parse");
         assert_eq!(trace.ops, vec![Request::AdvanceEpoch { session: 0 }]);
+    }
+
+    #[test]
+    fn digest_manifest_parses_and_rejects_malformed_lines() {
+        let good =
+            "# comment\n\nservice_quick.trace 742004f52561bb35\nother.trace 00000000deadbeef\n";
+        assert_eq!(
+            parse_digests(good).unwrap(),
+            vec![
+                ("service_quick.trace".to_string(), 0x7420_04f5_2561_bb35),
+                ("other.trace".to_string(), 0x0000_0000_dead_beef),
+            ]
+        );
+        for bad in [
+            "service_quick.trace",                    // missing digest
+            "service_quick.trace 1234",               // short digest
+            "service_quick.trace 742004f52561bb3g",   // non-hex
+            "service_quick.trace 742004f52561bb35 x", // trailing token
+        ] {
+            assert!(parse_digests(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn format_op_round_trips_every_op_shape() {
+        let trace = Trace::generate(&TraceSpec::small(11));
+        for op in &trace.ops {
+            let line = format_op(op);
+            assert_eq!(parse_op(&line).as_ref(), Ok(op), "line {line:?}");
+        }
     }
 
     #[test]

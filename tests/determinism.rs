@@ -521,15 +521,24 @@ fn dynamic_world_is_bit_identical_across_thread_counts() {
 #[test]
 fn committed_service_trace_replays_identically_across_thread_counts() {
     // The repo carries a recorded service workload (traces/service_quick
-    // .trace); replaying it must reproduce the digest stamped at commit
-    // time, per-op, at 1, 2, and 8 worker threads. Any engine change that
-    // shifts responses has to regenerate the trace and this constant
-    // together — that is the point: the file is the compatibility fence
-    // for the byzscore-trace/v1 format and the service's answer semantics.
+    // .trace); replaying it must reproduce the digest pinned in
+    // traces/DIGESTS, per-op, at 1, 2, and 8 worker threads. Any engine
+    // change that shifts responses has to regenerate the trace and the
+    // manifest together — that is the point: the pair is the
+    // compatibility fence for the byzscore-trace/v1 format and the
+    // service's answer semantics. CI's bench-gate and service-e2e jobs
+    // read the same manifest, so a trace rotation is a one-file edit.
     use byzscore_board::par::set_thread_limit;
-    use byzscore_service::{combined_digest, ServiceEngine, Trace};
+    use byzscore_service::{combined_digest, parse_digests, ServiceEngine, Trace};
 
-    const EXPECTED_DIGEST: u64 = 0x7420_04f5_2561_bb35;
+    let manifest_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../traces/DIGESTS");
+    let manifest = std::fs::read_to_string(manifest_path).expect("digest manifest readable");
+    let expected_digest = parse_digests(&manifest)
+        .expect("digest manifest parses")
+        .into_iter()
+        .find(|(name, _)| name == "service_quick.trace")
+        .map(|(_, digest)| digest)
+        .expect("service_quick.trace pinned in traces/DIGESTS");
 
     let _gate = THREAD_LIMIT_GATE
         .lock()
@@ -541,9 +550,9 @@ fn committed_service_trace_replays_identically_across_thread_counts() {
     let reference = ServiceEngine::new().execute(&trace.ops);
     assert_eq!(
         combined_digest(&reference),
-        EXPECTED_DIGEST,
-        "committed trace no longer replays to its recorded digest; \
-         regenerate traces/service_quick.trace and this constant together"
+        expected_digest,
+        "committed trace no longer replays to its pinned digest; \
+         regenerate traces/service_quick.trace and traces/DIGESTS together"
     );
     let ref_digests: Vec<u64> = reference.iter().map(|r| r.digest()).collect();
 

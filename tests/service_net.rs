@@ -1,0 +1,295 @@
+//! Wire-layer integration tests for the `byzscore-wire/v1` TCP
+//! front-end: loopback round-trips of every request type, admission
+//! backpressure (typed `Busy`, zero accepted-op loss), and a
+//! malformed-frame property — garbage on the wire gets a typed answer,
+//! never a panic or a wedged connection.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::thread;
+
+use byzscore_service::net::{replay_over_socket, request_stats};
+use byzscore_service::wire::{read_frame, write_frame, ClientFrame, ServerFrame, MAX_FRAME_BYTES};
+use byzscore_service::{
+    parse_op, NetConfig, Request, Response, Server, ServiceEngine, ServiceError,
+};
+use proptest::prelude::*;
+
+/// Start a server on an ephemeral loopback port with `run()` detached;
+/// test processes exit without shutting these down, which is fine —
+/// the threads die with the process.
+fn spawn_server(config: NetConfig) -> SocketAddr {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    thread::spawn(move || server.run());
+    addr
+}
+
+fn ops(lines: &[&str]) -> Vec<Request> {
+    lines
+        .iter()
+        .map(|l| parse_op(l).expect("test op parses"))
+        .collect()
+}
+
+fn handshake(stream: &mut TcpStream) {
+    write_frame(stream, ClientFrame::Hello.encode().as_bytes()).expect("send hello");
+    let frame = read_server_frame(stream);
+    assert_eq!(frame, ServerFrame::Hello);
+}
+
+fn read_server_frame(stream: &mut TcpStream) -> ServerFrame {
+    let payload = read_frame(stream)
+        .expect("read frame")
+        .expect("server still open");
+    let text = std::str::from_utf8(&payload).expect("server frames are UTF-8");
+    ServerFrame::decode(text).expect("server frames decode")
+}
+
+/// Every request shape — two algorithms, probes, full and restricted
+/// queries, churn, epoch, close — plus the rejection paths (unknown
+/// session, closed session, out-of-range player), replayed over the
+/// socket at one and three connections. The typed answers must equal
+/// the in-process `ServiceEngine::execute` answers exactly, not just
+/// digest-equal.
+#[test]
+fn loopback_round_trips_every_request_type() {
+    let script = ops(&[
+        "open 24 48 3 3 11 naive 4 1 2000 13",
+        "open 24 48 3 3 17 majority 4 1 2000 19",
+        "probe 0 3 1,2,9",
+        "probe 1 5 0,4",
+        "query 0 1,3 -",
+        "query 1 2,5 7,8,9",
+        "churn 0 2 2",
+        "epoch 1",
+        "probe 0 1 40",
+        "query 0 0,1,2,3 -",
+        "probe 9 0 1",
+        "query 0 99 -",
+        "close 1",
+        "close 0",
+        "epoch 0",
+    ]);
+    let expected = ServiceEngine::new().execute(&script);
+    assert!(
+        expected
+            .iter()
+            .any(|r| matches!(r, Response::Rejected(ServiceError::UnknownSession(9)))),
+        "script covers the rejection path"
+    );
+
+    for connections in [1usize, 3] {
+        let addr = spawn_server(NetConfig::default());
+        let replay =
+            replay_over_socket(addr, &script, connections).expect("socket replay succeeds");
+        assert_eq!(
+            replay.responses, expected,
+            "socket answers differ from in-process at {connections} connection(s)"
+        );
+    }
+}
+
+/// Fill a depth-1 admission queue behind a slow barrier: overload must
+/// answer a typed `Busy`, and retrying every `Busy` op until it lands
+/// must reproduce the in-process answers exactly — the server never
+/// loses an op it accepted, and the final counters agree
+/// (admitted == completed, busy counted).
+#[test]
+fn overload_answers_busy_and_loses_nothing() {
+    const PROBES: u64 = 48;
+    let addr = spawn_server(NetConfig {
+        shards: 4,
+        queue_depth: 1,
+        retry_after_ms: 1,
+    });
+
+    // The same script the server will effectively run: one open, one
+    // slow epoch barrier, then a burst of commuting probes.
+    let mut script = ops(&["open 64 128 4 4 11 calculate 6 2 2000 13", "epoch 0"]);
+    for seq in 2..2 + PROBES {
+        script.push(parse_op(&format!("probe 0 {} {}", seq % 64, seq)).unwrap());
+    }
+    let expected = ServiceEngine::new().execute(&script);
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    handshake(&mut stream);
+    let lines: Vec<String> = script.iter().map(byzscore_service::format_op).collect();
+
+    // Open first (session ids are assigned in open order), then blast
+    // the barrier and the whole probe burst without reading a single
+    // answer — the dispatcher is stuck in the epoch recompute, so the
+    // depth-1 queue must overflow into Busy answers.
+    let send = |stream: &mut TcpStream, seq: u64| {
+        let frame = ClientFrame::Op {
+            seq,
+            line: lines[seq as usize].clone(),
+        };
+        write_frame(stream, frame.encode().as_bytes()).expect("send op");
+    };
+    send(&mut stream, 0);
+    match read_server_frame(&mut stream) {
+        ServerFrame::Resp { seq: 0, response } => assert_eq!(response, expected[0]),
+        other => panic!("expected the open answer, got {other:?}"),
+    }
+    for seq in 1..lines.len() as u64 {
+        send(&mut stream, seq);
+    }
+
+    // Reap everything, resending each Busy answer verbatim.
+    let mut answers: Vec<Option<Response>> = vec![None; lines.len()];
+    answers[0] = Some(expected[0].clone());
+    let mut busy_answers = 0u64;
+    while answers.iter().any(Option::is_none) {
+        match read_server_frame(&mut stream) {
+            ServerFrame::Resp {
+                seq,
+                response: Response::Busy { .. },
+            } => {
+                busy_answers += 1;
+                send(&mut stream, seq);
+            }
+            ServerFrame::Resp { seq, response } => {
+                let slot = &mut answers[seq as usize];
+                assert!(slot.is_none(), "op {seq} answered twice");
+                *slot = Some(response);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(
+        busy_answers > 0,
+        "a depth-1 queue behind a slow barrier must overflow into Busy"
+    );
+    let answers: Vec<Response> = answers.into_iter().map(Option::unwrap).collect();
+    assert_eq!(
+        answers, expected,
+        "per-op answers after Busy retries differ from in-process"
+    );
+
+    let stats = request_stats(addr).expect("stats over a fresh connection");
+    assert_eq!(stats.busy_rejected, busy_answers);
+    assert_eq!(
+        stats.admitted, stats.completed,
+        "an accepted op went unanswered"
+    );
+    assert_eq!(stats.admitted, lines.len() as u64);
+    assert_eq!(stats.open_sessions, 1);
+}
+
+/// A frame whose declared length exceeds the protocol cap cannot be
+/// resynchronized; the server must answer a typed `err` frame and
+/// close — not panic, not hang.
+#[test]
+fn oversized_frame_gets_a_typed_error_then_close() {
+    let addr = spawn_server(NetConfig::default());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    handshake(&mut stream);
+    stream
+        .write_all(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes())
+        .expect("send lying length prefix");
+    match read_server_frame(&mut stream) {
+        ServerFrame::Err { message, .. } => assert!(
+            message.contains("exceeds"),
+            "error names the cap: {message:?}"
+        ),
+        other => panic!("expected an err frame, got {other:?}"),
+    }
+    assert_eq!(
+        read_frame(&mut stream).expect("clean close"),
+        None,
+        "server closes after an unresyncable frame"
+    );
+}
+
+fn fuzz_server() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| spawn_server(NetConfig::default()))
+}
+
+fn garbage_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes inside a well-formed frame: the server answers a
+    /// typed frame (an `err`, or a real answer if the bytes happened to
+    /// spell a valid request) and the connection stays usable — a valid
+    /// op sent right after gets its exact typed answer. All cases share
+    /// one server, so a panic anywhere wedges every later case.
+    #[test]
+    fn garbage_frames_get_typed_answers_and_never_wedge(
+        seed in 0u64..u64::MAX,
+        len in 0usize..48,
+    ) {
+        let payload = garbage_bytes(seed, len);
+        if let Ok(text) = std::str::from_utf8(&payload) {
+            // Astronomically unlikely, but a shutdown frame would be a
+            // *valid* request to kill the shared server.
+            prop_assume!(!matches!(ClientFrame::decode(text), Ok(ClientFrame::Shutdown { .. })));
+        }
+        let mut stream = TcpStream::connect(fuzz_server()).expect("connect");
+        handshake(&mut stream);
+        write_frame(&mut stream, &payload).expect("send garbage frame");
+        // Whatever came back decoded as a typed server frame, or the
+        // read would have panicked.
+        let _ = read_server_frame(&mut stream);
+        let probe = ClientFrame::Op { seq: 7, line: "query 0 1 -".to_string() };
+        write_frame(&mut stream, probe.encode().as_bytes()).expect("send valid op");
+        loop {
+            match read_server_frame(&mut stream) {
+                ServerFrame::Resp { seq, response } => {
+                    prop_assert_eq!(seq, 7);
+                    prop_assert_eq!(
+                        response,
+                        Response::Rejected(ServiceError::UnknownSession(0))
+                    );
+                    break;
+                }
+                // Stragglers from the garbage frame (e.g. it spelled a
+                // valid stats request) are fine; keep reading.
+                _ => continue,
+            }
+        }
+    }
+
+    /// A well-formed `req` envelope around a garbage op line: the
+    /// answer is the typed malformed rejection with the right sequence
+    /// number, the stdin-loop bugfix shared by both front-ends.
+    #[test]
+    fn malformed_op_lines_get_typed_rejections(
+        seed in 0u64..u64::MAX,
+        len in 1usize..32,
+        seq in 0u64..u64::MAX,
+    ) {
+        let line: String = garbage_bytes(seed, len)
+            .into_iter()
+            .map(|b| (b'!' + b % 64) as char)
+            .collect();
+        prop_assume!(parse_op(&line).is_err());
+        let mut stream = TcpStream::connect(fuzz_server()).expect("connect");
+        handshake(&mut stream);
+        let frame = ClientFrame::Op { seq, line };
+        write_frame(&mut stream, frame.encode().as_bytes()).expect("send malformed op");
+        match read_server_frame(&mut stream) {
+            ServerFrame::Resp { seq: got, response } => {
+                prop_assert_eq!(got, seq);
+                prop_assert!(
+                    matches!(response, Response::Rejected(ServiceError::Malformed { .. })),
+                    "expected a typed malformed rejection, got {response:?}"
+                );
+            }
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+    }
+}
