@@ -1,0 +1,5 @@
+//! Entry point for experiment `e18` (fault recovery).
+
+fn main() {
+    byzscore_bench::cli::single_main("e18");
+}

@@ -11,6 +11,7 @@ mod blocks_exp;
 mod byzantine_exp;
 mod dynamic_exp;
 mod protocol_exp;
+mod recovery_exp;
 mod scale_exp;
 mod service_exp;
 
@@ -21,6 +22,7 @@ pub use dynamic_exp::{e14_churn_robust, e15_adaptive_corruption, e16_drifting_tr
 pub use protocol_exp::{
     e05_clustering, e06_probe_complexity, e07_error_vs_d, e08_lower_bound, e12_budgets,
 };
+pub use recovery_exp::e18_fault_recovery;
 pub use scale_exp::e13_scale_frontier;
 pub use service_exp::e17_service_throughput;
 

@@ -161,6 +161,14 @@ pub static REGISTRY: &[Experiment] = &[
         runner: e::e17_service_throughput,
     },
     Experiment {
+        id: "e18",
+        name: "fault_recovery",
+        description:
+            "Fault-injected crash recovery: journaled engine killed at a seeded op schedule resumes with bit-identical digests; injected worker/barrier/connection faults are absorbed by typed retries",
+        tags: &["service", "robustness"],
+        runner: e::e18_fault_recovery,
+    },
+    Experiment {
         id: "a1",
         name: "select-ablation",
         description: "Ablation: Select batch size and elimination constants",
@@ -219,7 +227,7 @@ mod tests {
             assert!(!x.description.is_empty(), "{} lacks a description", x.id);
             assert!(!x.tags.is_empty(), "{} lacks tags", x.id);
         }
-        assert_eq!(REGISTRY.len(), 20);
+        assert_eq!(REGISTRY.len(), 21);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //!                        [--skew N] [--seed S]
 //! scored replay <in.trace> [--threads T]
 //! scored serve [--listen ADDR] [--shards N] [--queue-depth N] [--threads T]
+//!              [--journal PATH | --recover PATH]
+//!              [--read-timeout-ms N] [--write-timeout-ms N]
 //! scored client <ADDR> <in.trace> [--connections N] [--shutdown]
+//!              [--deadline-ms N] [--retry-seed S] [--throttle-ms N]
 //! ```
 //!
 //! `gen` writes a deterministic trace file; `replay` executes one and
@@ -20,13 +23,23 @@
 //! the socket and prints the same `digest` line as `replay`, so the
 //! two are directly comparable — CI's `service-e2e` job gates exactly
 //! that equality.
+//!
+//! Durability: `--journal PATH` write-ahead-journals every admitted
+//! mutating op (fsync before execute); after a crash, `--recover PATH`
+//! rebuilds the engine by replaying the journal and keeps appending to
+//! it, and CI's `service-chaos` job gates that a `kill -9` mid-replay
+//! plus `--recover` still lands the pinned digest. The journal is
+//! itself a valid `byzscore-trace/v1` file: `scored replay wal.journal`
+//! works. Fault-injected builds (`--features fault-inject`) add
+//! `serve --fault SPEC` with deterministic kill/panic/drop/stall
+//! schedules.
 
 use std::io::BufRead;
 
 use byzscore_board::par::set_thread_limit;
 use byzscore_service::{
-    combined_digest, net, parse_op, NetConfig, Response, Server, ServiceAlgorithm, ServiceEngine,
-    ServiceError, Trace, TraceSpec,
+    combined_digest, net, parse_op, JournaledEngine, NetConfig, ReplayOptions, Response, Server,
+    ServiceAlgorithm, ServiceEngine, ServiceError, Trace, TraceSpec,
 };
 
 fn usage() -> ! {
@@ -36,7 +49,10 @@ fn usage() -> ! {
          \u{20}                        [--drift-ppm N] [--algorithm NAME] [--skew N] [--seed S]\n\
          \u{20}      scored replay <in.trace> [--threads T]\n\
          \u{20}      scored serve [--listen ADDR] [--shards N] [--queue-depth N] [--threads T]\n\
-         \u{20}      scored client <ADDR> <in.trace> [--connections N] [--shutdown]"
+         \u{20}                   [--journal PATH | --recover PATH]\n\
+         \u{20}                   [--read-timeout-ms N] [--write-timeout-ms N]\n\
+         \u{20}      scored client <ADDR> <in.trace> [--connections N] [--shutdown]\n\
+         \u{20}                   [--deadline-ms N] [--retry-seed S] [--throttle-ms N]"
     );
     std::process::exit(2);
 }
@@ -165,12 +181,35 @@ fn serve(args: &[String]) {
             "--shards" => config.shards = parse_num(&mut it, flag),
             "--queue-depth" => config.queue_depth = parse_num(&mut it, flag),
             "--threads" => set_thread_limit(Some(parse_num(&mut it, flag))),
+            "--journal" | "--recover" => match it.next() {
+                Some(path) => {
+                    config.journal = Some(path.into());
+                    config.recover = flag == "--recover";
+                }
+                None => {
+                    eprintln!("scored: {flag} needs a journal path");
+                    std::process::exit(2);
+                }
+            },
+            "--read-timeout-ms" => config.read_timeout_ms = parse_num(&mut it, flag),
+            "--write-timeout-ms" => config.write_timeout_ms = parse_num(&mut it, flag),
+            #[cfg(feature = "fault-inject")]
+            "--fault" => {
+                let spec = it.next().map(String::as_str).unwrap_or("");
+                match byzscore_service::FaultPlan::parse(spec) {
+                    Ok(plan) => config.fault = std::sync::Arc::new(plan),
+                    Err(e) => {
+                        eprintln!("scored: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => usage(),
         }
     }
     match listen {
         Some(addr) => serve_socket(&addr, config),
-        None => serve_stdin(),
+        None => serve_stdin(&config),
     }
 }
 
@@ -182,6 +221,9 @@ fn serve_socket(addr: &str, config: NetConfig) {
             std::process::exit(1);
         }
     };
+    if server.recovered_ops() > 0 {
+        println!("recovered {} ops from the journal", server.recovered_ops());
+    }
     // The e2e harness greps this line for the actual port (`--listen
     // 127.0.0.1:0` lets the OS choose).
     println!("listening on {}", server.local_addr());
@@ -189,10 +231,33 @@ fn serve_socket(addr: &str, config: NetConfig) {
     println!("shutdown: {}", stats.encode());
 }
 
-fn serve_stdin() {
+fn serve_stdin(config: &NetConfig) {
     let stdin = std::io::stdin();
-    let mut engine = ServiceEngine::new();
-    for line in stdin.lock().lines() {
+    // With a journal path the stdin loop gets the same durability as
+    // the socket server: append+fsync before execute, recovery replay
+    // with `--recover`, per-seq dedupe (seq = input line index).
+    let mut journaled = match &config.journal {
+        Some(path) if config.recover => match JournaledEngine::recover(path, config.shards) {
+            Ok((engine, replayed)) => {
+                println!("recovered {replayed} ops from the journal");
+                Some(engine)
+            }
+            Err(e) => {
+                eprintln!("scored: cannot recover {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        Some(path) => match JournaledEngine::create(path, config.shards) {
+            Ok(engine) => Some(engine),
+            Err(e) => {
+                eprintln!("scored: cannot create journal {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+    let mut engine = ServiceEngine::with_shards(config.shards);
+    for (index, line) in stdin.lock().lines().enumerate() {
         let line = match line {
             Ok(l) => l,
             Err(_) => break,
@@ -202,7 +267,16 @@ fn serve_stdin() {
             continue;
         }
         let resp = match parse_op(trimmed) {
-            Ok(op) => engine.execute(std::slice::from_ref(&op)).remove(0),
+            Ok(op) => match &mut journaled {
+                Some(j) => match j.submit(index as u64, &op) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        eprintln!("scored: journal append failed: {e}");
+                        std::process::exit(1);
+                    }
+                },
+                None => engine.execute(std::slice::from_ref(&op)).remove(0),
+            },
             // A malformed line answers typed like any other rejection
             // (and keeps serving) instead of a bare `err` string.
             Err(message) => Response::Rejected(ServiceError::Malformed { message }),
@@ -215,19 +289,27 @@ fn client(args: &[String]) {
     let (Some(addr), Some(path)) = (args.first(), args.get(1)) else {
         usage();
     };
-    let mut connections = 1usize;
+    let mut options = ReplayOptions::default();
     let mut shutdown = false;
     let mut it = args[2..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--connections" => connections = parse_num(&mut it, flag),
+            "--connections" => options.connections = parse_num(&mut it, flag),
             "--shutdown" => shutdown = true,
+            "--deadline-ms" => {
+                options.deadline = Some(std::time::Duration::from_millis(parse_num(&mut it, flag)));
+            }
+            "--retry-seed" => options.retry_seed = parse_num(&mut it, flag),
+            "--throttle-ms" => {
+                options.throttle = Some(std::time::Duration::from_millis(parse_num(&mut it, flag)));
+            }
             _ => usage(),
         }
     }
+    let connections = options.connections.max(1);
     let trace = read_trace(path);
     let start = std::time::Instant::now();
-    let replayed = match net::replay_over_socket(addr.as_str(), &trace.ops, connections) {
+    let replayed = match net::replay_with_options(addr.as_str(), &trace.ops, options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("scored: socket replay failed: {e}");
@@ -241,12 +323,15 @@ fn client(args: &[String]) {
         .filter(|r| matches!(r, Response::Rejected(_)))
         .count();
     println!(
-        "replayed {} ops in {:.1} ms over {} connection(s) ({} rejected, {} busy retries)",
+        "replayed {} ops in {:.1} ms over {} connection(s) \
+         ({} rejected, {} busy retries, {} retryable retries, {} reconnects)",
         replayed.responses.len(),
         elapsed.as_secs_f64() * 1e3,
         connections,
         rejected,
-        replayed.busy_retries
+        replayed.busy_retries,
+        replayed.retryable_retries,
+        replayed.reconnects
     );
     println!("digest {:016x}", combined_digest(&replayed.responses));
     if shutdown {

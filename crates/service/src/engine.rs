@@ -186,6 +186,15 @@ impl ServiceEngine {
             .map_or(0, |s| s.warm.pooled_selects())
     }
 
+    /// Fault-injection hook: panic from inside the engine while the
+    /// caller holds its lock. The socket dispatcher calls this under
+    /// the write lock to poison it, exercising the supervision path's
+    /// rebuild-from-journal recovery end to end.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_barrier_panic(&mut self) {
+        panic!("fault-inject: barrier panic");
+    }
+
     /// Execute a request batch; answers come back in request order.
     ///
     /// The answer stream is a pure function of the engine's session

@@ -1,0 +1,190 @@
+//! Deterministic fault plans for chaos testing the service plane.
+//!
+//! A [`FaultPlan`] is a parsed schedule of injection points, each keyed
+//! to a 0-based *op index* maintained by the component that hosts the
+//! hook (the dispatcher's dispatch counter, the admission counter for
+//! connection-level faults). Every slot fires exactly once; with a
+//! single client connection the op indices are the trace indices, so a
+//! fault schedule is as reproducible as the trace itself.
+//!
+//! The plan type and parser are always compiled (and unit-tested); the
+//! hooks in `net.rs`/`engine.rs` only exist under the `fault-inject`
+//! cargo feature, so a production build carries no injection branches.
+//!
+//! # Spec grammar
+//!
+//! Comma-separated `kind@index` slots:
+//!
+//! ```text
+//! kill@7                abort the process before dispatching op 7
+//! panic-worker@9        panic the shard worker executing op 9
+//! panic-barrier@4       panic inside op 4's barrier, write lock held
+//! drop-conn@5           sever op 5's client connection at dispatch
+//! stall@3:600           sleep 600 ms in the connection thread before
+//!                       admitting op 3 (a wedged-server simulation)
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abort the process (the in-process stand-in for `kill -9`).
+    Kill,
+    /// Panic inside a shard worker's job execution.
+    PanicWorker,
+    /// Panic inside the engine barrier path, while write-locked.
+    PanicBarrier,
+    /// Sever the op's client connection (the op still executes).
+    DropConn,
+    /// Stall the connection thread for this long before admission.
+    Stall(Duration),
+}
+
+#[derive(Debug)]
+struct FaultSlot {
+    at: u64,
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// A fire-once schedule of injected faults, keyed by op index.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    slots: Vec<FaultSlot>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every hook is a no-op.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Parse the `kind@index[,kind@index...]` spec grammar; an empty
+    /// string is the empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut slots = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind_tok, at_tok) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault slot {part:?} needs kind@index"))?;
+            let parse_at = |tok: &str| {
+                tok.parse::<u64>()
+                    .map_err(|_| format!("bad op index in fault slot {part:?}"))
+            };
+            let (at, kind) = match kind_tok {
+                "kill" => (parse_at(at_tok)?, FaultKind::Kill),
+                "panic-worker" => (parse_at(at_tok)?, FaultKind::PanicWorker),
+                "panic-barrier" => (parse_at(at_tok)?, FaultKind::PanicBarrier),
+                "drop-conn" => (parse_at(at_tok)?, FaultKind::DropConn),
+                "stall" => {
+                    let (at_tok, ms_tok) = at_tok
+                        .split_once(':')
+                        .ok_or_else(|| format!("stall slot {part:?} needs stall@index:ms"))?;
+                    let ms = ms_tok
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad stall duration in {part:?}"))?;
+                    (
+                        parse_at(at_tok)?,
+                        FaultKind::Stall(Duration::from_millis(ms)),
+                    )
+                }
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            slots.push(FaultSlot {
+                at,
+                kind,
+                fired: AtomicBool::new(false),
+            });
+        }
+        Ok(FaultPlan { slots })
+    }
+
+    /// Fire-once check: the first matching unfired slot at `at` claims
+    /// itself and returns its kind.
+    fn fire(&self, at: u64, want: impl Fn(FaultKind) -> bool) -> Option<FaultKind> {
+        for slot in &self.slots {
+            if slot.at == at
+                && want(slot.kind)
+                && slot
+                    .fired
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return Some(slot.kind);
+            }
+        }
+        None
+    }
+
+    /// Abort the process if a `kill` slot is scheduled at `at`.
+    pub fn kill_at(&self, at: u64) {
+        if self.fire(at, |k| k == FaultKind::Kill).is_some() {
+            eprintln!("fault-inject: kill at op {at}");
+            std::process::abort();
+        }
+    }
+
+    /// True when a worker panic is scheduled at `at` (claims the slot).
+    pub fn worker_panic_at(&self, at: u64) -> bool {
+        self.fire(at, |k| k == FaultKind::PanicWorker).is_some()
+    }
+
+    /// True when a barrier panic is scheduled at `at` (claims the slot).
+    pub fn barrier_panic_at(&self, at: u64) -> bool {
+        self.fire(at, |k| k == FaultKind::PanicBarrier).is_some()
+    }
+
+    /// True when the op's connection should be severed at `at`.
+    pub fn drop_conn_at(&self, at: u64) -> bool {
+        self.fire(at, |k| k == FaultKind::DropConn).is_some()
+    }
+
+    /// The stall to apply before admitting op `at`, if scheduled.
+    pub fn stall_at(&self, at: u64) -> Option<Duration> {
+        match self.fire(at, |k| matches!(k, FaultKind::Stall(_))) {
+            Some(FaultKind::Stall(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// True when no slots are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind_and_fires_once() {
+        let plan =
+            FaultPlan::parse("panic-worker@3, drop-conn@5,stall@7:250,panic-barrier@9").unwrap();
+        assert!(!plan.worker_panic_at(2));
+        assert!(plan.worker_panic_at(3));
+        assert!(!plan.worker_panic_at(3), "slots fire once");
+        assert!(plan.drop_conn_at(5));
+        assert_eq!(plan.stall_at(7), Some(Duration::from_millis(250)));
+        assert_eq!(plan.stall_at(7), None);
+        assert!(plan.barrier_panic_at(9));
+        assert!(!plan.drop_conn_at(9), "kinds do not cross-fire");
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "kill",             // missing index
+            "kill@x",           // bad index
+            "stall@3",          // missing duration
+            "stall@3:fast",     // bad duration
+            "explode@1",        // unknown kind
+            "panic-worker@3:4", // stray duration
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

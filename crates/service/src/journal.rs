@@ -1,0 +1,518 @@
+//! Write-ahead op journal and the idempotent-resend dedupe window.
+//!
+//! # The journal is a trace file
+//!
+//! Ops are already `byzscore-trace/v1` text, so the journal reuses the
+//! format verbatim: the header line, then one op line per mutating op,
+//! each preceded by a `# wal seq=N` comment carrying the client's wire
+//! sequence number. Comments are ignored by [`Trace::from_text`], so a
+//! journal *is* a valid trace — `scored replay wal.journal` replays a
+//! crashed server's history directly, and recovery is nothing more than
+//! [`ServiceEngine::execute`] over the parsed ops (the batch path, the
+//! same code every digest gate already pins).
+//!
+//! # Durability contract
+//!
+//! An entry is appended and fsynced **before** its op executes, and the
+//! answer is only sent after execution. A crash therefore leaves three
+//! possible states per op, all safe:
+//!
+//! * journaled + executed, answer maybe lost — recovery re-applies it;
+//!   the client's resend is answered from the rebuilt [`DedupeWindow`]
+//!   (barriers) or by idempotent re-execution (probes).
+//! * journaled, never executed — recovery applies it for the first
+//!   time; identical outcome by engine determinism.
+//! * torn tail (the crash landed mid-append) — the partial last line is
+//!   dropped and the file truncated to the last newline. The op was
+//!   never executed and never answered, so the resend simply runs it
+//!   fresh.
+//!
+//! Queries are *not* journaled: they read score rows that change only
+//! at barriers, so they are pure functions of the journaled history.
+//!
+//! # Why resends never double-apply
+//!
+//! Probes are naturally idempotent — the board holds one claim slot per
+//! `(scope, object, author)` and re-posting overwrites with the same
+//! value, so re-executing a probe changes nothing (including the
+//! `freed_slots` a later close reports). Barriers are *not* idempotent
+//! (a churn retires players each time), so the engine keeps a bounded
+//! per-session [`DedupeWindow`]: a resent barrier whose `(seq, op)`
+//! pair was already answered gets the recorded response back without
+//! re-executing. Recovery restocks the window from the `# wal seq=N`
+//! annotations, so the exactly-once guarantee spans crashes.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+use crate::engine::ServiceEngine;
+use crate::request::{mix, Request, Response};
+use crate::workload::{format_op, parse_op, TraceError, TRACE_VERSION};
+
+/// Resent-op memory per dedupe partition (one partition per session,
+/// plus one for session-less `open` ops). A client pipelines at most a
+/// barrier-free window per session, so a small FIFO covers every resend
+/// a live client can produce.
+pub const DEDUPE_WINDOW: usize = 64;
+
+/// Fold an op's canonical trace line into a 64-bit identity key. A
+/// dedupe hit requires the stored key to match, so a *different* op
+/// reusing an old sequence number executes instead of replaying a
+/// stale answer.
+pub fn op_key(op: &Request) -> u64 {
+    let line = format_op(op);
+    let mut h = mix(0x0b5e_55ed, line.len() as u64);
+    for chunk in line.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// Bounded `(seq, op) → response` memory for barrier ops, partitioned
+/// by session so one chatty session cannot evict another's entries.
+/// Partitions survive `close` — a retried close must answer the
+/// recorded `Closed`, not a `Rejected(SessionClosed)`.
+#[derive(Debug, Default)]
+pub struct DedupeWindow {
+    map: HashMap<(Option<u64>, u64), (u64, Response)>,
+    order: HashMap<Option<u64>, VecDeque<u64>>,
+}
+
+impl DedupeWindow {
+    /// An empty window.
+    pub fn new() -> DedupeWindow {
+        DedupeWindow::default()
+    }
+
+    /// The recorded answer for a resend: same partition, same sequence
+    /// number, same op text. A key mismatch is *not* a hit — the client
+    /// reused the sequence number for a different op.
+    pub fn lookup(&self, partition: Option<u64>, seq: u64, key: u64) -> Option<&Response> {
+        match self.map.get(&(partition, seq)) {
+            Some((stored, resp)) if *stored == key => Some(resp),
+            _ => None,
+        }
+    }
+
+    /// Record an answered barrier op, evicting the partition's oldest
+    /// entry past [`DEDUPE_WINDOW`].
+    pub fn record(&mut self, partition: Option<u64>, seq: u64, key: u64, resp: Response) {
+        if self.map.insert((partition, seq), (key, resp)).is_none() {
+            let order = self.order.entry(partition).or_default();
+            order.push_back(seq);
+            if order.len() > DEDUPE_WINDOW {
+                if let Some(evicted) = order.pop_front() {
+                    self.map.remove(&(partition, evicted));
+                }
+            }
+        }
+    }
+
+    /// Recorded entries across all partitions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Append handle on a write-ahead journal file.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Create (truncate) a fresh journal: header line, fsynced.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        let mut file = File::create(path)?;
+        file.write_all(TRACE_VERSION.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        Ok(Journal { file })
+    }
+
+    /// Open an existing journal for appending — call after
+    /// [`recover`], which truncates any torn tail first.
+    pub fn open_append(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Append one mutating op (seq annotation + op line, one write) and
+    /// fsync before returning — the caller only executes the op once
+    /// this succeeds.
+    pub fn append(&mut self, seq: u64, op: &Request) -> io::Result<()> {
+        let entry = format!("# wal seq={seq}\n{}\n", format_op(op));
+        self.file.write_all(entry.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// One journaled op: the client sequence number from its `# wal seq=N`
+/// annotation (`None` when replaying a plain trace file as a journal)
+/// and the op itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Wire sequence number the op was admitted under, if annotated.
+    pub seq: Option<u64>,
+    /// The journaled op.
+    pub op: Request,
+}
+
+/// Parse journal text (assumed complete — see [`recover`] for the
+/// torn-tail file path). A trailing `# wal seq=N` with no following op
+/// line is ignored: the annotated op was never appended, so it was
+/// never executed.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, TraceError> {
+    let trace_err = |line: usize, message: String| TraceError { line, message };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == TRACE_VERSION => {}
+        Some((_, header)) => {
+            return Err(trace_err(
+                1,
+                format!("bad journal header {header:?}, expected {TRACE_VERSION:?}"),
+            ))
+        }
+        None => return Err(trace_err(0, "empty journal".to_string())),
+    }
+    let mut entries = Vec::new();
+    let mut pending_seq: Option<u64> = None;
+    for (i, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(tok) = comment.trim().strip_prefix("wal seq=") {
+                pending_seq =
+                    Some(tok.trim().parse::<u64>().map_err(|_| {
+                        trace_err(i + 1, format!("bad wal seq annotation {line:?}"))
+                    })?);
+            }
+            continue;
+        }
+        // A complete op line that fails to parse is corruption, not a
+        // torn tail — refuse to serve from a journal we cannot replay.
+        let op = parse_op(line).map_err(|m| trace_err(i + 1, m))?;
+        entries.push(JournalEntry {
+            seq: pending_seq.take(),
+            op,
+        });
+    }
+    Ok(entries)
+}
+
+/// What [`recover`] rebuilds from a journal.
+pub struct Recovered {
+    /// The engine with every journaled op applied, via the batch path.
+    pub engine: ServiceEngine,
+    /// Dedupe window restocked with the recovery-computed answer of
+    /// every seq-annotated barrier op (determinism makes these equal to
+    /// the answers the crashed server sent).
+    pub dedupe: DedupeWindow,
+    /// The recovery-computed answers, in journal order.
+    pub responses: Vec<Response>,
+    /// Ops replayed.
+    pub replayed: usize,
+}
+
+/// Rebuild engine state from journal text.
+pub fn recover_from_text(text: &str, shards: usize) -> Result<Recovered, TraceError> {
+    let entries = parse_journal(text)?;
+    let ops: Vec<Request> = entries.iter().map(|e| e.op.clone()).collect();
+    let mut engine = ServiceEngine::with_shards(shards);
+    let responses = engine.execute(&ops);
+    let mut dedupe = DedupeWindow::new();
+    for (entry, resp) in entries.iter().zip(&responses) {
+        if let Some(seq) = entry.seq {
+            if !entry.op.is_shardable() {
+                dedupe.record(entry.op.session(), seq, op_key(&entry.op), resp.clone());
+            }
+        }
+    }
+    Ok(Recovered {
+        engine,
+        dedupe,
+        replayed: ops.len(),
+        responses,
+    })
+}
+
+/// Rebuild engine state from a journal file, truncating a torn tail
+/// (anything after the last newline) on disk first so subsequent
+/// appends continue a well-formed file.
+pub fn recover(path: &Path, shards: usize) -> io::Result<Recovered> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    if keep < bytes.len() {
+        file.set_len(keep as u64)?;
+        file.sync_data()?;
+        bytes.truncate(keep);
+    }
+    drop(file);
+    let text = String::from_utf8(bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "journal is not UTF-8"))?;
+    recover_from_text(&text, shards)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A [`ServiceEngine`] fronted by the WAL + dedupe pipeline — the
+/// single-threaded counterpart of the socket dispatcher, used by the
+/// stdin serve loop and the e18 fault-recovery experiment.
+pub struct JournaledEngine {
+    engine: ServiceEngine,
+    journal: Journal,
+    dedupe: DedupeWindow,
+}
+
+impl JournaledEngine {
+    /// Fresh engine over a fresh journal.
+    pub fn create(path: &Path, shards: usize) -> io::Result<JournaledEngine> {
+        Ok(JournaledEngine {
+            engine: ServiceEngine::with_shards(shards),
+            journal: Journal::create(path)?,
+            dedupe: DedupeWindow::new(),
+        })
+    }
+
+    /// Rebuild from an existing journal and keep appending to it.
+    /// Returns the engine and how many ops were replayed.
+    pub fn recover(path: &Path, shards: usize) -> io::Result<(JournaledEngine, usize)> {
+        let rec = recover(path, shards)?;
+        Ok((
+            JournaledEngine {
+                engine: rec.engine,
+                journal: Journal::open_append(path)?,
+                dedupe: rec.dedupe,
+            },
+            rec.replayed,
+        ))
+    }
+
+    /// Dedupe-check, journal (mutating ops), then execute one op.
+    pub fn submit(&mut self, seq: u64, op: &Request) -> io::Result<Response> {
+        if !op.is_shardable() {
+            if let Some(resp) = self.dedupe.lookup(op.session(), seq, op_key(op)) {
+                return Ok(resp.clone());
+            }
+        }
+        if op.is_mutating() {
+            self.journal.append(seq, op)?;
+        }
+        let resp = self.engine.execute(std::slice::from_ref(op)).remove(0);
+        if !op.is_shardable() {
+            self.dedupe
+                .record(op.session(), seq, op_key(op), resp.clone());
+        }
+        Ok(resp)
+    }
+
+    /// The engine behind the journal.
+    pub fn engine(&self) -> &ServiceEngine {
+        &self.engine
+    }
+
+    /// Fault-injection hook: journal an op *without* executing it, the
+    /// on-disk state a crash between append and execute leaves behind.
+    #[cfg(feature = "fault-inject")]
+    pub fn journal_without_execute(&mut self, seq: u64, op: &Request) -> io::Result<()> {
+        self.journal.append(seq, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::combined_digest;
+    use crate::workload::{Trace, TraceSpec};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("byzscore_journal_{tag}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn dedupe_window_hits_misses_and_evicts() {
+        let mut w = DedupeWindow::new();
+        let resp = Response::Epoch {
+            session: 0,
+            epoch: 1,
+            max_err: 0,
+        };
+        w.record(Some(0), 7, 11, resp.clone());
+        assert_eq!(w.lookup(Some(0), 7, 11), Some(&resp));
+        assert_eq!(w.lookup(Some(0), 7, 12), None, "key mismatch is a miss");
+        assert_eq!(w.lookup(Some(0), 8, 11), None, "seq mismatch is a miss");
+        assert_eq!(w.lookup(Some(1), 7, 11), None, "partition mismatch");
+        // FIFO eviction per partition; other partitions untouched.
+        for seq in 100..100 + DEDUPE_WINDOW as u64 {
+            w.record(Some(0), seq, seq, resp.clone());
+        }
+        assert_eq!(w.lookup(Some(0), 7, 11), None, "oldest entry evicted");
+        assert_eq!(w.len(), DEDUPE_WINDOW);
+        w.record(None, 7, 11, resp.clone());
+        assert_eq!(w.lookup(None, 7, 11), Some(&resp));
+    }
+
+    #[test]
+    fn op_key_separates_ops_with_equal_length_lines() {
+        let a = parse_op("epoch 1").unwrap();
+        let b = parse_op("epoch 2").unwrap();
+        assert_ne!(op_key(&a), op_key(&b));
+        assert_eq!(op_key(&a), op_key(&a.clone()));
+    }
+
+    #[test]
+    fn journal_parses_with_and_without_seq_annotations() {
+        let text = format!(
+            "{TRACE_VERSION}\n# wal seq=9\nepoch 0\n# plain comment\nchurn 0 1 1\n\n# wal seq=12\n"
+        );
+        let entries = parse_journal(&text).expect("parse");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, Some(9));
+        assert_eq!(entries[1].seq, None, "plain comment is not an annotation");
+        assert!(parse_journal("byzscore-trace/v2\n").is_err());
+        assert!(
+            parse_journal(&format!("{TRACE_VERSION}\n# wal seq=x\nepoch 0\n")).is_err(),
+            "bad annotation is corruption"
+        );
+        assert!(
+            parse_journal(&format!("{TRACE_VERSION}\nepoch zero\n")).is_err(),
+            "a complete unparsable op line is corruption"
+        );
+    }
+
+    /// Kill the "server" (drop the journaled engine) at every op index
+    /// of a generated trace; recovery + the remaining ops must digest
+    /// bit-identically to the uninterrupted run. This is the in-process
+    /// statement of the tentpole's crash-recovery determinism claim.
+    #[test]
+    fn recovery_is_digest_identical_at_every_kill_point() {
+        let trace = Trace::generate(&TraceSpec::small(23));
+        let expected = combined_digest(&trace.replay());
+        let path = temp_path("killpoints");
+        // Exhaustive at the barrier indices + a probe stride; the e18
+        // experiment covers the committed trace with a seeded schedule.
+        let kill_points: Vec<usize> = (0..trace.ops.len())
+            .filter(|&k| !trace.ops[k].is_shardable() || k % 5 == 0)
+            .collect();
+        for k in kill_points {
+            let mut responses = Vec::new();
+            {
+                let mut je = JournaledEngine::create(&path, 4).expect("create journal");
+                for (i, op) in trace.ops[..k].iter().enumerate() {
+                    responses.push(je.submit(i as u64, op).expect("submit"));
+                }
+                // Crash: je dropped without any shutdown handshake.
+            }
+            let (mut je, replayed) =
+                JournaledEngine::recover(&path, 4).expect("recover from journal");
+            assert_eq!(
+                replayed,
+                trace.ops[..k].iter().filter(|o| o.is_mutating()).count(),
+                "journal holds exactly the mutating prefix at kill point {k}"
+            );
+            for (i, op) in trace.ops.iter().enumerate().skip(k) {
+                responses.push(je.submit(i as u64, op).expect("submit after recovery"));
+            }
+            assert_eq!(
+                combined_digest(&responses),
+                expected,
+                "kill at op {k} diverged"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A torn tail — partial bytes after the last newline — is dropped
+    /// on recovery and the file keeps accepting appends.
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        use std::io::Write as _;
+        let path = temp_path("torn");
+        let mut je = JournaledEngine::create(&path, 2).expect("create");
+        let open = parse_op("open 8 16 2 2 5 naive 2 0 0 7").unwrap();
+        let epoch = parse_op("epoch 0").unwrap();
+        je.submit(0, &open).expect("open");
+        je.submit(1, &epoch).expect("epoch");
+        drop(je);
+        // Simulate a crash mid-append: partial annotation, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"# wal seq=2\nchurn 0 1").unwrap();
+        drop(f);
+        let (mut je, replayed) = JournaledEngine::recover(&path, 2).expect("recover");
+        assert_eq!(replayed, 2, "the torn entry was never executed");
+        let resp = je.submit(2, &parse_op("close 0").unwrap()).expect("close");
+        assert!(matches!(resp, Response::Closed { .. }));
+        // The resumed file is still a valid journal end to end.
+        let (_, replayed) = JournaledEngine::recover(&path, 2).expect("re-recover");
+        assert_eq!(replayed, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A resent barrier answers the recorded response without
+    /// re-executing — including across a crash/recover boundary — and
+    /// a different op under a reused seq executes normally.
+    #[test]
+    fn dedupe_survives_recovery_and_checks_op_identity() {
+        let path = temp_path("dedupe");
+        let ops = [
+            parse_op("open 8 16 2 2 5 naive 2 0 1000 7").unwrap(),
+            parse_op("churn 0 1 1").unwrap(),
+        ];
+        let mut je = JournaledEngine::create(&path, 2).expect("create");
+        let first = je.submit(0, &ops[0]).expect("open");
+        let churned = je.submit(1, &ops[1]).expect("churn");
+        // Resend before the crash: recorded answer, no second churn.
+        assert_eq!(je.submit(1, &ops[1]).expect("resend"), churned);
+        drop(je);
+        let (mut je, _) = JournaledEngine::recover(&path, 2).expect("recover");
+        assert_eq!(
+            je.submit(1, &ops[1]).expect("resend after recovery"),
+            churned,
+            "dedupe window survives the crash"
+        );
+        assert_eq!(je.submit(0, &ops[0]).expect("resent open"), first);
+        // Same seq, different op text: executes (a second churn).
+        let other = je
+            .submit(1, &parse_op("epoch 0").unwrap())
+            .expect("reused seq, new op");
+        assert!(matches!(other, Response::Epoch { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The journal is a valid `byzscore-trace/v1` file: `Trace::from_text`
+    /// parses it directly.
+    #[test]
+    fn journal_is_a_replayable_trace_file() {
+        let path = temp_path("astrace");
+        let trace = Trace::generate(&TraceSpec::small(31));
+        let mut je = JournaledEngine::create(&path, 4).expect("create");
+        for (i, op) in trace.ops.iter().enumerate() {
+            je.submit(i as u64, op).expect("submit");
+        }
+        drop(je);
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        let parsed = Trace::from_text(&text).expect("journal parses as a trace");
+        let mutating: Vec<Request> = trace
+            .ops
+            .iter()
+            .filter(|o| o.is_mutating())
+            .cloned()
+            .collect();
+        assert_eq!(parsed.ops, mutating);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -22,13 +22,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
+pub mod journal;
 pub mod net;
 mod request;
 pub mod wire;
 pub mod workload;
 
 pub use engine::{ServiceEngine, DEFAULT_SHARDS, TAG_SERVICE};
-pub use net::{NetConfig, Server, SocketReplay};
+pub use fault::{FaultKind, FaultPlan};
+pub use journal::{DedupeWindow, Journal, JournaledEngine, Recovered};
+pub use net::{NetConfig, ReplayOptions, Server, SocketReplay};
 pub use request::{
     combined_digest, mix, Request, Response, ServiceAlgorithm, ServiceError, SessionSpec,
 };

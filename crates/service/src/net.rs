@@ -54,21 +54,41 @@
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::engine::{merge_preferences, probe_response, query_part, Routed, ServiceEngine};
-use crate::request::{Request, Response, ServiceError};
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
+use crate::journal::{self, op_key, DedupeWindow, Journal};
+use crate::request::{mix, Request, Response, ServiceError};
 use crate::wire::{read_frame, write_frame, ClientFrame, ServerFrame, StatsSnapshot, WIRE_VERSION};
 use crate::workload::{format_op, parse_op};
+
+/// Poison-tolerant engine read: a panicked *writer* poisons the lock,
+/// but readers here only ever observe either pre-panic state (the
+/// injected panics fire before any mutation) or the post-rebuild
+/// engine, both structurally sound — and the dispatcher rebuilds from
+/// the journal before answering anything after a poisoning.
+fn read_engine(lock: &RwLock<ServiceEngine>) -> RwLockReadGuard<'_, ServiceEngine> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant mutex lock (a writer panicking mid-`write_frame`
+/// must not cascade into every later answer on the connection).
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs for [`Server`]. The defaults match the batch engine's
 /// shard count and keep the admission queue small enough that overload
 /// surfaces as `Busy` quickly instead of as latency.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetConfig {
     /// Shard worker threads (and engine shard count).
     pub shards: usize,
@@ -76,6 +96,25 @@ pub struct NetConfig {
     pub queue_depth: usize,
     /// Retry delay suggested in `Busy` answers.
     pub retry_after_ms: u32,
+    /// Per-connection socket read timeout in milliseconds (`0`
+    /// disables): a stalled client (slow-loris) gets its connection
+    /// closed instead of pinning a thread forever.
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout in milliseconds (`0`
+    /// disables): a client that stops reading cannot wedge answer
+    /// writes indefinitely.
+    pub write_timeout_ms: u64,
+    /// Write-ahead journal path. When set, every admitted mutating op
+    /// is appended and fsynced *before* it executes, so a killed server
+    /// can resume from the journal with bit-identical answers.
+    pub journal: Option<PathBuf>,
+    /// Rebuild the engine and dedupe window from `journal` before
+    /// serving (requires `journal`); the file keeps growing afterwards.
+    pub recover: bool,
+    /// Deterministic fault schedule (test builds only; the default
+    /// empty plan makes every hook a no-op).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Arc<FaultPlan>,
 }
 
 impl Default for NetConfig {
@@ -84,6 +123,12 @@ impl Default for NetConfig {
             shards: crate::engine::DEFAULT_SHARDS,
             queue_depth: 256,
             retry_after_ms: 2,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            journal: None,
+            recover: false,
+            #[cfg(feature = "fault-inject")]
+            fault: Arc::new(FaultPlan::none()),
         }
     }
 }
@@ -96,19 +141,62 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     config: NetConfig,
+    engine: ServiceEngine,
+    dedupe: DedupeWindow,
+    journal: Option<Journal>,
+    /// Ops replayed from the journal at bind time (0 without
+    /// `recover`).
+    recovered_ops: usize,
 }
 
 impl Server {
-    /// Bind the listener. Pass port 0 to let the OS choose (read it
-    /// back with [`Server::local_addr`]).
+    /// Bind the listener and, when [`NetConfig::recover`] is set,
+    /// rebuild the engine from the journal before accepting anything.
+    /// Pass port 0 to let the OS choose (read it back with
+    /// [`Server::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<Server> {
+        let (engine, dedupe, journal, recovered_ops) = match (&config.journal, config.recover) {
+            (Some(path), true) => {
+                let rec = journal::recover(path, config.shards)?;
+                let journal = Journal::open_append(path)?;
+                (rec.engine, rec.dedupe, Some(journal), rec.replayed)
+            }
+            (Some(path), false) => (
+                ServiceEngine::with_shards(config.shards),
+                DedupeWindow::new(),
+                Some(Journal::create(path)?),
+                0,
+            ),
+            (None, true) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "recover requires a journal path",
+                ))
+            }
+            (None, false) => (
+                ServiceEngine::with_shards(config.shards),
+                DedupeWindow::new(),
+                None,
+                0,
+            ),
+        };
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Server {
             listener,
             local_addr,
             config,
+            engine,
+            dedupe,
+            journal,
+            recovered_ops,
         })
+    }
+
+    /// Ops replayed from the journal at bind time (0 unless
+    /// [`NetConfig::recover`] was set).
+    pub fn recovered_ops(&self) -> usize {
+        self.recovered_ops
     }
 
     /// The bound address.
@@ -119,8 +207,16 @@ impl Server {
     /// Serve until a client sends a `shutdown` frame, then drain all
     /// queues and return the lifetime counters.
     pub fn run(self) -> StatsSnapshot {
-        let config = self.config;
-        let engine = Arc::new(RwLock::new(ServiceEngine::with_shards(config.shards)));
+        let Server {
+            listener,
+            local_addr,
+            config,
+            engine,
+            dedupe,
+            journal,
+            recovered_ops: _,
+        } = self;
+        let engine = Arc::new(RwLock::new(engine));
         let stats = Arc::new(StatsInner::new());
         let outstanding = Arc::new(ShardDrain::default());
 
@@ -133,7 +229,10 @@ impl Server {
             shard_txs.push(tx);
             let engine = engine.clone();
             let outstanding = outstanding.clone();
-            workers.push(thread::spawn(move || shard_worker(rx, engine, outstanding)));
+            let stats = stats.clone();
+            workers.push(thread::spawn(move || {
+                shard_worker(rx, engine, outstanding, stats)
+            }));
         }
 
         // The dispatcher: the only thread that submits shard jobs or
@@ -141,10 +240,20 @@ impl Server {
         // local argument instead of a distributed one.
         let (admission_tx, admission_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let dispatcher = {
-            let engine = engine.clone();
-            let stats = stats.clone();
-            let outstanding = outstanding.clone();
-            thread::spawn(move || dispatch(admission_rx, shard_txs, engine, stats, outstanding))
+            let state = Dispatcher {
+                shard_txs,
+                engine: engine.clone(),
+                stats: stats.clone(),
+                drain: outstanding.clone(),
+                journal,
+                dedupe,
+                journal_path: config.journal.clone(),
+                shards: config.shards,
+                dispatched: 0,
+                #[cfg(feature = "fault-inject")]
+                fault: config.fault.clone(),
+            };
+            thread::spawn(move || dispatch(admission_rx, state))
         };
 
         // Accept loop. Connection threads are joined before the
@@ -154,12 +263,14 @@ impl Server {
             stats: stats.clone(),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
-            local_addr: self.local_addr,
+            local_addr,
             retry_after_ms: config.retry_after_ms,
+            #[cfg(feature = "fault-inject")]
+            fault: config.fault.clone(),
         });
         let mut conn_threads = Vec::new();
         let mut next_conn_id = 0u64;
-        for stream in self.listener.incoming() {
+        for stream in listener.incoming() {
             if ctx.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -167,6 +278,17 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Socket timeouts apply to the whole fd (reads in the
+            // connection loop, answer writes from workers sharing the
+            // writer clone), so a stalled peer bounds every wait.
+            if config.read_timeout_ms > 0 {
+                let _ =
+                    stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)));
+            }
+            if config.write_timeout_ms > 0 {
+                let _ =
+                    stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms)));
+            }
             let id = next_conn_id;
             next_conn_id += 1;
             let ctx = ctx.clone();
@@ -182,7 +304,7 @@ impl Server {
             let _ = w.join();
         }
 
-        let open_sessions = engine.read().unwrap().open_sessions() as u64;
+        let open_sessions = read_engine(&engine).open_sessions() as u64;
         stats.snapshot(open_sessions)
     }
 }
@@ -201,19 +323,31 @@ enum ShardJob {
         player: u32,
         objects: Vec<u32>,
         reply: ReplyTo,
+        /// Fault-injection: panic before touching any state.
+        #[cfg(feature = "fault-inject")]
+        inject_panic: bool,
     },
     /// One shard's slice of a preference query.
     Query {
         members: Vec<(usize, u32)>,
         objects: Arc<Option<Vec<u32>>>,
         cell: Arc<MergeCell>,
+        /// Fault-injection: panic before touching any state.
+        #[cfg(feature = "fault-inject")]
+        inject_panic: bool,
     },
 }
 
-/// Per-player query partial: `(ones, digest)` for one queried member,
-/// `None` until its shard fills the slot. Paired with a countdown of
-/// unfilled slots so the last shard knows to fold and answer.
-type QuerySlots = (Vec<Option<(u64, u64)>>, usize);
+/// Per-player query partials: `(ones, digest)` per queried member,
+/// `None` until its shard fills the slot; a countdown of unfilled
+/// slices tells the last shard to fold and answer; `failed` latches
+/// once a slice's worker panicked, so the query answers `Retryable`
+/// exactly once and never merges partial state.
+struct QuerySlots {
+    parts: Vec<Option<(u64, u64)>>,
+    remaining: usize,
+    failed: bool,
+}
 
 /// Merge buffer for a cross-shard query: the last shard to fill its
 /// slice folds the partials (in original request order) and answers.
@@ -223,7 +357,20 @@ struct MergeCell {
     reply: ReplyTo,
 }
 
+impl MergeCell {
+    /// Latch the failure and answer once; later slices (filled or
+    /// failed) see the latch and stay silent.
+    fn fail(&self, resp: &Response) {
+        let mut slots = lock_ok(&self.slots);
+        if !slots.failed {
+            slots.failed = true;
+            self.reply.answer(resp);
+        }
+    }
+}
+
 /// Where and how to answer an admitted op.
+#[derive(Clone)]
 struct ReplyTo {
     conn: Arc<Mutex<TcpStream>>,
     seq: u64,
@@ -236,6 +383,9 @@ impl ReplyTo {
     /// errors are ignored: the op has executed either way, and a client
     /// that hung up simply misses its answer.
     fn answer(&self, resp: &Response) {
+        if matches!(resp, Response::Retryable { .. }) {
+            self.stats.retryable.fetch_add(1, Ordering::Relaxed);
+        }
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
         self.stats
             .record_latency(self.admitted.elapsed().as_micros() as u64);
@@ -243,8 +393,15 @@ impl ReplyTo {
             seq: self.seq,
             response: resp.clone(),
         };
-        let mut conn = self.conn.lock().unwrap();
+        let mut conn = lock_ok(&self.conn);
         let _ = write_frame(&mut *conn, frame.encode().as_bytes());
+    }
+
+    /// Sever the underlying socket (drop-connection fault injection).
+    #[cfg(feature = "fault-inject")]
+    fn sever(&self) {
+        let conn = lock_ok(&self.conn);
+        let _ = conn.shutdown(Shutdown::Both);
     }
 }
 
@@ -276,66 +433,177 @@ impl ShardDrain {
     }
 }
 
+/// Where a panicked shard job's `Retryable` answer goes.
+enum FaultHandle {
+    Reply(ReplyTo),
+    Cell(Arc<MergeCell>),
+}
+
+/// Supervised shard worker: a panicking job answers a typed
+/// [`Response::Retryable`] instead of tearing the thread (and with it
+/// the whole server) down. Probe jobs panic before any board or oracle
+/// mutation, and a query slice writes nothing on failure, so the
+/// surviving state stays exactly what the journal describes and a
+/// client resend re-executes cleanly.
 fn shard_worker(
     rx: Receiver<ShardJob>,
     engine: Arc<RwLock<ServiceEngine>>,
     drain: Arc<ShardDrain>,
+    stats: Arc<StatsInner>,
 ) {
     while let Ok(job) = rx.recv() {
-        {
-            let engine = engine.read().unwrap();
-            match job {
-                ShardJob::Probe {
-                    session,
-                    player,
-                    objects,
-                    reply,
-                } => {
-                    // The dispatcher validated the session while routing
-                    // and no barrier (the only thing that closes one)
-                    // can run until this job drains.
-                    let state = engine
-                        .session(session)
-                        .expect("routed probe outlives its session");
-                    let resp = probe_response(engine.board(), state, session, player, &objects);
-                    reply.answer(&resp);
-                }
-                ShardJob::Query {
-                    members,
-                    objects,
-                    cell,
-                } => {
-                    let state = engine
-                        .session(cell.session)
-                        .expect("routed query outlives its session");
-                    let part = query_part(state, &members, objects.as_deref());
-                    let mut slots = cell.slots.lock().unwrap();
-                    for (pos, ones, digest) in part {
-                        slots.0[pos] = Some((ones, digest));
-                    }
-                    slots.1 -= 1;
-                    if slots.1 == 0 {
-                        let resp = merge_preferences(cell.session, &slots.0);
-                        cell.reply.answer(&resp);
-                    }
-                }
+        let handle = match &job {
+            ShardJob::Probe { reply, .. } => FaultHandle::Reply(reply.clone()),
+            ShardJob::Query { cell, .. } => FaultHandle::Cell(cell.clone()),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_shard_job(&engine, job)));
+        if outcome.is_err() {
+            stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Retryable {
+                reason: "shard worker panicked; resend the op".to_string(),
+            };
+            match handle {
+                FaultHandle::Reply(reply) => reply.answer(&resp),
+                FaultHandle::Cell(cell) => cell.fail(&resp),
             }
         }
+        // Always drain, success or panic: a barrier waiting on
+        // `wait_idle` must not deadlock on a dead job.
         drain.done_one();
     }
 }
 
-fn dispatch(
-    admission_rx: Receiver<Job>,
+fn run_shard_job(engine: &RwLock<ServiceEngine>, job: ShardJob) {
+    let engine = read_engine(engine);
+    match job {
+        ShardJob::Probe {
+            session,
+            player,
+            objects,
+            reply,
+            #[cfg(feature = "fault-inject")]
+            inject_panic,
+        } => {
+            #[cfg(feature = "fault-inject")]
+            if inject_panic {
+                panic!("fault-inject: worker panic before probe execution");
+            }
+            // The dispatcher validated the session while routing
+            // and no barrier (the only thing that closes one)
+            // can run until this job drains.
+            let state = engine
+                .session(session)
+                .expect("routed probe outlives its session");
+            let resp = probe_response(engine.board(), state, session, player, &objects);
+            reply.answer(&resp);
+        }
+        ShardJob::Query {
+            members,
+            objects,
+            cell,
+            #[cfg(feature = "fault-inject")]
+            inject_panic,
+        } => {
+            #[cfg(feature = "fault-inject")]
+            if inject_panic {
+                panic!("fault-inject: worker panic before query slice");
+            }
+            let state = engine
+                .session(cell.session)
+                .expect("routed query outlives its session");
+            let part = query_part(state, &members, objects.as_deref());
+            let mut slots = lock_ok(&cell.slots);
+            if slots.failed {
+                // A sibling slice already answered Retryable; merging a
+                // partial result now would answer the seq twice.
+                return;
+            }
+            for (pos, ones, digest) in part {
+                slots.parts[pos] = Some((ones, digest));
+            }
+            slots.remaining -= 1;
+            if slots.remaining == 0 {
+                let resp = merge_preferences(cell.session, &slots.parts);
+                cell.reply.answer(&resp);
+            }
+        }
+    }
+}
+
+/// Everything the dispatcher thread owns: the shard queues, the shared
+/// engine, and the durability state (journal + dedupe window) that only
+/// this thread touches — which is what makes "append before execute"
+/// a straight-line argument instead of a concurrent one.
+struct Dispatcher {
     shard_txs: Vec<SyncSender<ShardJob>>,
     engine: Arc<RwLock<ServiceEngine>>,
     stats: Arc<StatsInner>,
     drain: Arc<ShardDrain>,
-) {
+    journal: Option<Journal>,
+    dedupe: DedupeWindow,
+    journal_path: Option<PathBuf>,
+    shards: usize,
+    dispatched: u64,
+    #[cfg(feature = "fault-inject")]
+    fault: Arc<FaultPlan>,
+}
+
+fn dispatch(admission_rx: Receiver<Job>, mut d: Dispatcher) {
     while let Ok(Job { req, reply }) = admission_rx.recv() {
-        stats.depth.fetch_sub(1, Ordering::Relaxed);
+        d.stats.depth.fetch_sub(1, Ordering::Relaxed);
+        let index = d.dispatched;
+        d.dispatched += 1;
+        d.handle(index, req, reply);
+    }
+}
+
+impl Dispatcher {
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+    fn handle(&mut self, index: u64, req: Request, reply: ReplyTo) {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.fault.kill_at(index);
+            if self.fault.drop_conn_at(index) {
+                // Sever the client's socket; the op still executes and
+                // its answer write fails silently — exactly what a mid-
+                // flight network partition looks like to the server.
+                reply.sever();
+            }
+        }
+        // Dedupe barriers before journaling: a resend of an already-
+        // executed barrier must answer the recorded response, not
+        // re-apply the world transition. Shardable ops skip the window
+        // — probes are idempotent (same-value board claims) and queries
+        // are pure reads — so re-execution is already exact.
+        let key = op_key(&req);
+        if !req.is_shardable() {
+            if let Some(resp) = self.dedupe.lookup(req.session(), reply.seq, key) {
+                self.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                reply.answer(resp);
+                return;
+            }
+        }
+        // Durability point: an admitted mutating op hits the fsynced
+        // journal *before* it executes. Crash after the append and the
+        // recovery replay applies it; crash before and the client's
+        // resend runs it fresh — either way exactly once.
+        if req.is_mutating() {
+            if let Some(journal) = &mut self.journal {
+                if journal.append(reply.seq, &req).is_err() {
+                    // A journal we cannot write is a durability promise
+                    // we cannot keep: refuse the op, keep serving.
+                    reply.answer(&Response::Retryable {
+                        reason: "journal append failed; resend the op".to_string(),
+                    });
+                    return;
+                }
+                self.stats.journaled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if req.is_shardable() {
-            let routed = engine.read().unwrap().route_shardable(&req);
+            #[cfg(feature = "fault-inject")]
+            let inject_panic = self.fault.worker_panic_at(index);
+            let routed = read_engine(&self.engine).route_shardable(&req);
             match routed {
                 Routed::Reject(resp) => reply.answer(&resp),
                 Routed::Probe { shard } => {
@@ -347,15 +615,17 @@ fn dispatch(
                     else {
                         unreachable!("probe routing for a non-probe op");
                     };
-                    drain.add(1);
+                    self.drain.add(1);
                     // Blocking send: an accepted op is never dropped;
                     // a full shard queue backs pressure up to admission.
-                    shard_txs[shard]
+                    self.shard_txs[shard]
                         .send(ShardJob::Probe {
                             session,
                             player,
                             objects,
                             reply,
+                            #[cfg(feature = "fault-inject")]
+                            inject_panic,
                         })
                         .expect("shard worker outlives the dispatcher");
                 }
@@ -369,16 +639,22 @@ fn dispatch(
                     let objects = Arc::new(objects);
                     let cell = Arc::new(MergeCell {
                         session,
-                        slots: Mutex::new((vec![None; width], parts.len())),
+                        slots: Mutex::new(QuerySlots {
+                            parts: vec![None; width],
+                            remaining: parts.len(),
+                            failed: false,
+                        }),
                         reply,
                     });
-                    drain.add(parts.len());
+                    self.drain.add(parts.len());
                     for (shard, members) in parts {
-                        shard_txs[shard]
+                        self.shard_txs[shard]
                             .send(ShardJob::Query {
                                 members,
                                 objects: objects.clone(),
                                 cell: cell.clone(),
+                                #[cfg(feature = "fault-inject")]
+                                inject_panic,
                             })
                             .expect("shard worker outlives the dispatcher");
                     }
@@ -387,11 +663,56 @@ fn dispatch(
         } else {
             // Barrier: every admitted shardable op finishes first, so
             // the world transition sees exactly the ops admitted before
-            // it — the batch flush contract, verbatim.
-            drain.wait_idle();
-            let resp = engine.write().unwrap().barrier(&req);
-            reply.answer(&resp);
+            // it — the batch flush contract, verbatim. The barrier runs
+            // supervised: a panic mid-transition leaves the engine in
+            // an unknown (and lock-poisoned) state, so it is never
+            // trusted again — the dispatcher rebuilds from the journal,
+            // which recorded this very op, before answering anything.
+            self.drain.wait_idle();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut guard = self.engine.write().unwrap_or_else(PoisonError::into_inner);
+                #[cfg(feature = "fault-inject")]
+                if self.fault.barrier_panic_at(index) {
+                    guard.inject_barrier_panic();
+                }
+                guard.barrier(&req)
+            }));
+            match outcome {
+                Ok(resp) => {
+                    self.dedupe
+                        .record(req.session(), reply.seq, key, resp.clone());
+                    reply.answer(&resp);
+                }
+                Err(_) => {
+                    self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+                    self.rebuild();
+                    // The failed barrier is in the rebuilt state (it was
+                    // journaled before execution), so the client's
+                    // resend hits the dedupe window — exactly once.
+                    reply.answer(&Response::Retryable {
+                        reason: "barrier interrupted; state rebuilt from the journal".to_string(),
+                    });
+                }
+            }
         }
+    }
+
+    /// Replace the (possibly poisoned, never-again-trusted) engine with
+    /// one rebuilt from the journal — or a fresh one when the server
+    /// runs without durability, which is still sound: an unjournaled
+    /// server makes no replay promise, and a fresh engine beats a
+    /// corrupt one.
+    fn rebuild(&mut self) {
+        let (engine, dedupe) = match &self.journal_path {
+            Some(path) => match journal::recover(path, self.shards) {
+                Ok(rec) => (rec.engine, rec.dedupe),
+                Err(_) => (ServiceEngine::with_shards(self.shards), DedupeWindow::new()),
+            },
+            None => (ServiceEngine::with_shards(self.shards), DedupeWindow::new()),
+        };
+        *self.engine.write().unwrap_or_else(PoisonError::into_inner) = engine;
+        self.engine.clear_poison();
+        self.dedupe = dedupe;
     }
 }
 
@@ -403,6 +724,8 @@ struct ConnCtx {
     conns: Mutex<Vec<(u64, TcpStream)>>,
     local_addr: SocketAddr,
     retry_after_ms: u32,
+    #[cfg(feature = "fault-inject")]
+    fault: Arc<FaultPlan>,
 }
 
 impl ConnCtx {
@@ -445,6 +768,21 @@ fn connection_loop(stream: &TcpStream, admission_tx: SyncSender<Job>, ctx: &Arc<
             // Clean EOF, a lying length prefix (no way to resync), or a
             // shutdown-severed socket: either way this stream is done.
             Ok(None) => return,
+            // The socket read timeout fired: the peer stalled mid-frame
+            // (or went silent past the idle bound). Name the cause in
+            // the goodbye so a live-but-slow client knows what happened.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = send(&ServerFrame::Err {
+                    seq: 0,
+                    message: "connection idle past the read timeout".to_string(),
+                });
+                return;
+            }
             Err(e) => {
                 let _ = send(&ServerFrame::Err {
                     seq: 0,
@@ -487,6 +825,16 @@ fn connection_loop(stream: &TcpStream, admission_tx: SyncSender<Job>, ctx: &Arc<
                     });
                 }
                 Ok(req) => {
+                    // Fault-injection: wedge this connection thread for
+                    // a while before admission, as if the server ground
+                    // to a halt — the client's deadline should fire.
+                    #[cfg(feature = "fault-inject")]
+                    if let Some(stall) = ctx
+                        .fault
+                        .stall_at(ctx.stats.admitted.load(Ordering::Relaxed))
+                    {
+                        thread::sleep(stall);
+                    }
                     let job = Job {
                         req,
                         reply: ReplyTo {
@@ -540,6 +888,11 @@ struct StatsInner {
     busy: AtomicU64,
     malformed: AtomicU64,
     completed: AtomicU64,
+    retryable: AtomicU64,
+    journaled: AtomicU64,
+    deduped: AtomicU64,
+    worker_panics: AtomicU64,
+    rebuilds: AtomicU64,
     depth: AtomicU64,
     depth_peak: AtomicU64,
     latency_us: [AtomicU64; 64],
@@ -552,6 +905,11 @@ impl StatsInner {
             busy: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            retryable: AtomicU64::new(0),
+            journaled: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
             depth: AtomicU64::new(0),
             depth_peak: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -608,6 +966,12 @@ impl StatsInner {
             queue_depth_peak: self.depth_peak.load(Ordering::Relaxed),
             p50_us: self.percentile(&counts, total, 1, 2),
             p99_us: self.percentile(&counts, total, 99, 100),
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            retryable: self.retryable.load(Ordering::Relaxed),
+            journaled: self.journaled.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
         }
     }
 }
@@ -625,39 +989,105 @@ pub struct SocketReplay {
     /// How many `Busy` answers were retried along the way (overload
     /// evidence; zero information content for the digest).
     pub busy_retries: u64,
+    /// How many `Retryable` answers were retried (fault evidence; like
+    /// `Busy`, never part of the digest).
+    pub retryable_retries: u64,
+    /// How many times a connection was re-established mid-replay.
+    pub reconnects: u64,
 }
 
 /// Max in-flight shardable ops per connection before the client reaps
 /// answers.
 const PIPELINE_WINDOW: usize = 64;
 
-/// Cap on the honored `Busy` retry delay.
+/// Cap on the retry backoff window.
 const MAX_RETRY_MS: u64 = 50;
 
+/// Client-side resilience knobs for [`replay_with_options`].
+#[derive(Clone, Debug)]
+pub struct ReplayOptions {
+    /// Sockets to spread sessions over (min 1).
+    pub connections: usize,
+    /// Per-request deadline: an op unanswered this long gets its
+    /// connection torn down and every pending op on it resent. `None`
+    /// waits forever (the pre-fault-tolerance behavior).
+    pub deadline: Option<Duration>,
+    /// Seed for the deterministic backoff jitter — fixed seed, fixed
+    /// retry schedule, reproducible chaos runs.
+    pub retry_seed: u64,
+    /// Reconnect and resend when the server drops a connection with
+    /// ops in flight (`false` restores the old hard-error behavior).
+    pub reconnect: bool,
+    /// Total time to keep re-dialing one reconnect before giving up.
+    pub give_up_after: Duration,
+    /// Optional pause before each op — spreads a replay out in time so
+    /// an external fault (a `kill -9`) lands mid-trace instead of
+    /// after the burst already finished.
+    pub throttle: Option<Duration>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> ReplayOptions {
+        ReplayOptions {
+            connections: 1,
+            deadline: None,
+            retry_seed: 0xb0ff_5eed,
+            reconnect: true,
+            give_up_after: Duration::from_secs(30),
+            throttle: None,
+        }
+    }
+}
+
 /// Replay a trace over TCP across `connections` sockets and collect
-/// the final answers in trace order.
+/// the final answers in trace order, with default [`ReplayOptions`].
 ///
 /// Ordering contract (see the module docs): every op of a session uses
 /// the connection `session_id % connections`; an `Open` drains all
 /// connections and is awaited (ids are assigned in open order, so the
 /// k-th open of a fresh server gets id k); any other barrier drains and
 /// is awaited on its session's connection; shardable ops pipeline up to
-/// [`PIPELINE_WINDOW`] deep. `Busy` answers are retried after the
-/// suggested delay and never appear in `responses`.
+/// [`PIPELINE_WINDOW`] deep. `Busy` and `Retryable` answers are retried
+/// with capped exponential backoff and never appear in `responses`.
 pub fn replay_over_socket(
     addr: impl ToSocketAddrs,
     ops: &[Request],
     connections: usize,
 ) -> io::Result<SocketReplay> {
-    let connections = connections.max(1);
+    replay_with_options(
+        addr,
+        ops,
+        ReplayOptions {
+            connections,
+            ..ReplayOptions::default()
+        },
+    )
+}
+
+/// [`replay_over_socket`] with explicit resilience knobs: deadlines,
+/// reconnect-and-resend, seeded backoff, and an inter-op throttle.
+///
+/// Resends are safe end to end: the server dedupes resent barriers by
+/// `(session, seq, op)` and probe re-execution is idempotent, so a
+/// retried mutation applies exactly once no matter how many times the
+/// connection died under it.
+pub fn replay_with_options(
+    addr: impl ToSocketAddrs,
+    ops: &[Request],
+    options: ReplayOptions,
+) -> io::Result<SocketReplay> {
+    let connections = options.connections.max(1);
     let addr = addr
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to"))?;
-    let mut client = ReplayClient::connect(addr, connections)?;
+    let mut client = ReplayClient::connect(addr, connections, options)?;
     let mut opens_sent = 0usize;
     for (index, op) in ops.iter().enumerate() {
         let seq = index as u64;
+        if let Some(pause) = client.options.throttle {
+            thread::sleep(pause);
+        }
         match op {
             Request::Open(_) => {
                 let conn = opens_sent % connections;
@@ -691,121 +1121,322 @@ pub fn replay_over_socket(
     Ok(SocketReplay {
         responses,
         busy_retries: client.busy_retries,
+        retryable_retries: client.retryable_retries,
+        reconnects: client.reconnects,
     })
 }
 
-/// An answered-or-dead message from one reader thread.
+/// An answered-or-dead message from one reader thread. `Closed` carries
+/// the connection *generation* so a stale reader (its socket already
+/// replaced by a reconnect) cannot retire the replacement.
 enum Event {
     Frame(ServerFrame),
-    Closed(usize),
+    Closed(usize, u64),
+}
+
+/// One sent-but-unanswered op: enough to resend it verbatim on the
+/// right connection, plus the bookkeeping the deadline check needs.
+struct PendingOp {
+    conn: usize,
+    line: String,
+    attempts: u32,
+    sent_at: Instant,
 }
 
 struct ReplayClient {
+    addr: SocketAddr,
+    options: ReplayOptions,
     writers: Vec<TcpStream>,
+    /// Bumped on every reconnect; readers report their generation.
+    generation: Vec<u64>,
+    /// A connection known dead (reader reported `Closed`); the next op
+    /// routed to it reconnects first.
+    dead: Vec<bool>,
+    /// Kept so reconnect-spawned readers share the original channel —
+    /// and so `events.recv()` never spuriously disconnects.
+    event_tx: mpsc::Sender<Event>,
     events: mpsc::Receiver<Event>,
-    /// `seq → (connection, op line)` for everything not yet answered —
-    /// the line is kept so a `Busy` answer can resend verbatim.
-    pending: HashMap<u64, (usize, String)>,
+    pending: HashMap<u64, PendingOp>,
     in_flight: Vec<usize>,
     responses: Vec<Option<Response>>,
     busy_retries: u64,
+    retryable_retries: u64,
+    reconnects: u64,
+}
+
+/// Dial, handshake, and disable Nagle on one connection.
+fn connect_one(addr: SocketAddr) -> io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    handshake(&mut stream)?;
+    Ok(stream)
+}
+
+/// Spawn the reader thread for one connection generation: forwards
+/// decoded frames, reports `Closed(conn, generation)` when the socket
+/// dies or turns to garbage.
+fn spawn_reader(
+    event_tx: mpsc::Sender<Event>,
+    mut reader: TcpStream,
+    conn: usize,
+    generation: u64,
+) {
+    thread::spawn(move || {
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            let frame = std::str::from_utf8(&payload)
+                .ok()
+                .and_then(|t| ServerFrame::decode(t).ok());
+            match frame {
+                Some(f) => {
+                    if event_tx.send(Event::Frame(f)).is_err() {
+                        return;
+                    }
+                }
+                // An undecodable server frame means the stream is
+                // unusable; report the close.
+                None => break,
+            }
+        }
+        let _ = event_tx.send(Event::Closed(conn, generation));
+    });
 }
 
 impl ReplayClient {
-    fn connect(addr: SocketAddr, connections: usize) -> io::Result<ReplayClient> {
+    fn connect(
+        addr: SocketAddr,
+        connections: usize,
+        options: ReplayOptions,
+    ) -> io::Result<ReplayClient> {
         let (event_tx, events) = mpsc::channel::<Event>();
         let mut writers = Vec::with_capacity(connections);
         for conn in 0..connections {
-            let mut stream = TcpStream::connect(addr)?;
-            stream.set_nodelay(true)?;
-            handshake(&mut stream)?;
-            let mut reader = stream.try_clone()?;
+            let stream = connect_one(addr)?;
+            let reader = stream.try_clone()?;
             writers.push(stream);
-            let event_tx = event_tx.clone();
-            thread::spawn(move || {
-                while let Ok(Some(payload)) = read_frame(&mut reader) {
-                    let frame = std::str::from_utf8(&payload)
-                        .ok()
-                        .and_then(|t| ServerFrame::decode(t).ok());
-                    match frame {
-                        Some(f) => {
-                            if event_tx.send(Event::Frame(f)).is_err() {
-                                return;
-                            }
-                        }
-                        // An undecodable server frame means the stream
-                        // is unusable; report the close.
-                        None => break,
-                    }
-                }
-                let _ = event_tx.send(Event::Closed(conn));
-            });
+            spawn_reader(event_tx.clone(), reader, conn, 0);
         }
         Ok(ReplayClient {
+            addr,
+            options,
             writers,
+            generation: vec![0; connections],
+            dead: vec![false; connections],
+            event_tx,
             events,
             pending: HashMap::new(),
             in_flight: vec![0; connections],
             responses: Vec::new(),
             busy_retries: 0,
+            retryable_retries: 0,
+            reconnects: 0,
         })
     }
 
+    /// Register the op as pending *before* the write: if the write
+    /// fails into a reconnect, the reconnect's resend sweep already
+    /// covers this op.
     fn send_op(&mut self, conn: usize, seq: u64, op: &Request) -> io::Result<()> {
         let line = format_op(op);
-        self.send_line(conn, seq, &line)?;
-        self.pending.insert(seq, (conn, line));
-        self.in_flight[conn] += 1;
         if self.responses.len() <= seq as usize {
             self.responses.resize(seq as usize + 1, None);
         }
-        Ok(())
+        self.pending.insert(
+            seq,
+            PendingOp {
+                conn,
+                line: line.clone(),
+                attempts: 0,
+                sent_at: Instant::now(),
+            },
+        );
+        self.in_flight[conn] += 1;
+        self.dispatch_line(conn, seq, &line)
     }
 
-    fn send_line(&mut self, conn: usize, seq: u64, line: &str) -> io::Result<()> {
+    /// Write one op frame, reconnecting first (which resends every
+    /// pending op on the connection, including `seq`) when the
+    /// connection is known dead or the write fails.
+    fn dispatch_line(&mut self, conn: usize, seq: u64, line: &str) -> io::Result<()> {
+        if self.dead[conn] {
+            return self.reconnect(conn);
+        }
         let frame = ClientFrame::Op {
             seq,
             line: line.to_string(),
         };
-        write_frame(&mut self.writers[conn], frame.encode().as_bytes())
+        match write_frame(&mut self.writers[conn], frame.encode().as_bytes()) {
+            Ok(()) => Ok(()),
+            Err(_) if self.options.reconnect => self.reconnect(conn),
+            Err(e) => Err(e),
+        }
     }
 
-    /// Receive and apply one event: record an answer, or resend on
-    /// `Busy` after the suggested delay.
+    /// Deterministic capped exponential backoff: attempt `a` draws from
+    /// `[window/2, window]` where `window = min(2^a, MAX_RETRY_MS)` ms,
+    /// jittered by a hash of `(seed, seq, attempt)` — no entropy, so a
+    /// fixed seed replays the exact retry schedule.
+    fn backoff_delay(&self, seq: u64, attempt: u32) -> Duration {
+        let window = (1u64 << attempt.min(6)).min(MAX_RETRY_MS);
+        let jitter = mix(mix(self.options.retry_seed, seq), u64::from(attempt)) % (window / 2 + 1);
+        Duration::from_millis(window / 2 + jitter)
+    }
+
+    /// Tear down one connection, dial until it comes back (bounded by
+    /// [`ReplayOptions::give_up_after`]), and resend its pending ops in
+    /// sequence order. Server-side dedupe + probe idempotency make the
+    /// resends exactly-once.
+    fn reconnect(&mut self, conn: usize) -> io::Result<()> {
+        self.reconnects += 1;
+        let _ = self.writers[conn].shutdown(Shutdown::Both);
+        self.generation[conn] += 1;
+        let generation = self.generation[conn];
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        let stream = loop {
+            match connect_one(self.addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if started.elapsed() >= self.options.give_up_after {
+                        return Err(e);
+                    }
+                    thread::sleep(self.backoff_delay(conn as u64, attempt));
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        };
+        let reader = stream.try_clone()?;
+        spawn_reader(self.event_tx.clone(), reader, conn, generation);
+        self.writers[conn] = stream;
+        self.dead[conn] = false;
+        let mut seqs: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.conn == conn)
+            .map(|(&seq, _)| seq)
+            .collect();
+        seqs.sort_unstable();
+        for seq in seqs {
+            let line = {
+                let p = self.pending.get_mut(&seq).expect("seq collected above");
+                p.attempts += 1;
+                p.sent_at = Instant::now();
+                p.line.clone()
+            };
+            let frame = ClientFrame::Op { seq, line };
+            if write_frame(&mut self.writers[conn], frame.encode().as_bytes()).is_err() {
+                // Died again mid-resend: the fresh reader will report
+                // `Closed` for this generation and the pump retries.
+                self.dead[conn] = true;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resend one op after its typed retry answer (`Busy` or
+    /// `Retryable`), honoring the seeded backoff.
+    fn resend_after(&mut self, seq: u64, retryable: bool) -> io::Result<()> {
+        let Some(p) = self.pending.get_mut(&seq) else {
+            // A duplicate retry answer for an op that a reconnect
+            // resend already got answered — nothing left to do.
+            return Ok(());
+        };
+        p.attempts += 1;
+        let (conn, attempts, line) = (p.conn, p.attempts, p.line.clone());
+        if retryable {
+            self.retryable_retries += 1;
+        } else {
+            self.busy_retries += 1;
+        }
+        thread::sleep(self.backoff_delay(seq, attempts));
+        if let Some(p) = self.pending.get_mut(&seq) {
+            p.sent_at = Instant::now();
+        }
+        self.dispatch_line(conn, seq, &line)
+    }
+
+    /// Tear down and resend every connection carrying an op that blew
+    /// its deadline.
+    fn enforce_deadlines(&mut self) -> io::Result<()> {
+        let Some(deadline) = self.options.deadline else {
+            return Ok(());
+        };
+        let mut conns: Vec<usize> = self
+            .pending
+            .values()
+            .filter(|p| p.sent_at.elapsed() >= deadline)
+            .map(|p| p.conn)
+            .collect();
+        conns.sort_unstable();
+        conns.dedup();
+        for conn in conns {
+            self.reconnect(conn)?;
+        }
+        Ok(())
+    }
+
+    /// Receive and apply one event: record an answer, resend on a
+    /// typed retry, or recover a closed connection. With a deadline
+    /// set, blocks in short slices so expired ops are noticed even
+    /// when the server goes completely silent.
     fn pump_one(&mut self) -> io::Result<()> {
-        let event = self
-            .events
-            .recv()
-            .map_err(|_| broken("every reader thread died mid-replay"))?;
+        let event = match self.options.deadline {
+            None => self
+                .events
+                .recv()
+                .map_err(|_| broken("every reader thread died mid-replay"))?,
+            Some(_) => loop {
+                match self.events.recv_timeout(Duration::from_millis(10)) {
+                    Ok(event) => break event,
+                    Err(mpsc::RecvTimeoutError::Timeout) => self.enforce_deadlines()?,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(broken("every reader thread died mid-replay"))
+                    }
+                }
+            },
+        };
         match event {
-            Event::Closed(conn) => {
-                if self.in_flight[conn] > 0 {
-                    return Err(broken("server closed a connection with ops in flight"));
+            Event::Closed(conn, generation) => {
+                if generation != self.generation[conn] {
+                    // A reader of a socket some reconnect already
+                    // replaced; its report is stale.
+                    return Ok(());
                 }
-                Ok(())
-            }
-            Event::Frame(ServerFrame::Resp { seq, response }) => {
-                if let Response::Busy { retry_after_ms } = response {
-                    self.busy_retries += 1;
-                    let (conn, line) = self
-                        .pending
-                        .get(&seq)
-                        .cloned()
-                        .ok_or_else(|| broken("Busy answer for an unknown sequence number"))?;
-                    thread::sleep(Duration::from_millis(
-                        u64::from(retry_after_ms).min(MAX_RETRY_MS),
-                    ));
-                    self.send_line(conn, seq, &line)
+                self.dead[conn] = true;
+                if self.in_flight[conn] == 0 {
+                    return Ok(());
+                }
+                if self.options.reconnect {
+                    self.reconnect(conn)
                 } else {
-                    let (conn, _) = self
-                        .pending
-                        .remove(&seq)
-                        .ok_or_else(|| broken("answer for an unknown sequence number"))?;
-                    self.in_flight[conn] -= 1;
-                    self.responses[seq as usize] = Some(response);
-                    Ok(())
+                    Err(broken("server closed a connection with ops in flight"))
                 }
             }
+            Event::Frame(ServerFrame::Resp { seq, response }) => match response {
+                Response::Busy { .. } => self.resend_after(seq, false),
+                Response::Retryable { .. } => self.resend_after(seq, true),
+                response => match self.pending.remove(&seq) {
+                    Some(p) => {
+                        self.in_flight[p.conn] -= 1;
+                        self.responses[seq as usize] = Some(response);
+                        Ok(())
+                    }
+                    None => {
+                        // A resend can race its original answer; the
+                        // second copy (dedupe makes it identical) is
+                        // dropped here.
+                        if self
+                            .responses
+                            .get(seq as usize)
+                            .is_some_and(|r| r.is_some())
+                        {
+                            Ok(())
+                        } else {
+                            Err(broken("answer for an unknown sequence number"))
+                        }
+                    }
+                },
+            },
             Event::Frame(ServerFrame::Err { message, .. }) => {
                 Err(broken(&format!("server protocol error: {message}")))
             }

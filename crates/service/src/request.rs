@@ -166,6 +166,14 @@ impl Request {
             Request::SubmitProbes { .. } | Request::QueryPreferences { .. }
         )
     }
+
+    /// True for ops that change engine state and therefore must be
+    /// journaled before execution (everything except preference reads).
+    /// Probes mutate too — their board claims feed the `freed_slots`
+    /// count a later `close` answers with.
+    pub fn is_mutating(&self) -> bool {
+        !matches!(self, Request::QueryPreferences { .. })
+    }
 }
 
 /// One answer from the engine, in request order.
@@ -244,6 +252,17 @@ pub enum Response {
     Busy {
         /// Suggested client-side retry delay.
         retry_after_ms: u32,
+    },
+    /// The op was admitted but its execution was interrupted by an
+    /// infrastructure fault (a panicked worker, an engine rebuild). The
+    /// op may or may not have been applied; because every mutation is
+    /// either idempotent (probes) or deduplicated by `(seq, op)` on the
+    /// server, resending it verbatim is always safe and yields the real
+    /// answer. Like `Busy`, this never enters a replay digest — clients
+    /// retry until a final answer arrives.
+    Retryable {
+        /// What faulted, human-readable and deterministic.
+        reason: String,
     },
 }
 
@@ -349,14 +368,7 @@ impl Response {
                 // Fold the message bytes so distinct parse failures digest
                 // apart; messages are deterministic strings, so this stays
                 // host-invariant.
-                let mut h = mix(0xe1, 6);
-                h = mix(h, message.len() as u64);
-                for chunk in message.as_bytes().chunks(8) {
-                    let mut word = [0u8; 8];
-                    word[..chunk.len()].copy_from_slice(chunk);
-                    h = mix(h, u64::from_le_bytes(word));
-                }
-                h
+                fold_text(mix(0xe1, 6), message)
             }
         }
     }
@@ -421,8 +433,21 @@ impl Response {
             } => mix(mix(mix(0x5d, 6), *session), *freed_slots),
             Response::Rejected(e) => mix(mix(0x5d, 7), Self::error_digest(e)),
             Response::Busy { retry_after_ms } => mix(mix(0x5d, 8), *retry_after_ms as u64),
+            Response::Retryable { reason } => fold_text(mix(0x5d, 9), reason),
         }
     }
+}
+
+/// Fold a deterministic string into a digest: length first, then the
+/// bytes in 8-byte little-endian words.
+fn fold_text(mut h: u64, text: &str) -> u64 {
+    h = mix(h, text.len() as u64);
+    for chunk in text.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(word));
+    }
+    h
 }
 
 /// Fold a response stream into one digest (order-sensitive): the single

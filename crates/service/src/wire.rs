@@ -276,13 +276,30 @@ pub struct StatsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile admission-to-answer latency, microseconds.
     pub p99_us: u64,
+    /// Admission queue depth at snapshot time (0 on an idle server — the
+    /// depth-gauge regression test pins that it cannot leak).
+    pub queue_depth: u64,
+    /// Ops answered with a typed `Retryable` fault (each may be resent;
+    /// resends that complete count under `completed` a second time).
+    pub retryable: u64,
+    /// Mutating ops appended to the write-ahead journal.
+    pub journaled: u64,
+    /// Resent barrier ops answered from the dedupe window instead of
+    /// re-executing.
+    pub deduped: u64,
+    /// Shard-worker panics caught and supervised.
+    pub worker_panics: u64,
+    /// Engine rebuilds from the journal after a poisoned barrier.
+    pub rebuilds: u64,
 }
 
 impl StatsSnapshot {
-    /// `key=value` space-separated encoding, fixed field order.
+    /// `key=value` space-separated encoding, fixed field order. New
+    /// counters append at the end — old decoders skip unknown keys.
     pub fn encode(&self) -> String {
         format!(
-            "admitted={} busy={} malformed={} completed={} sessions={} depth_peak={} p50_us={} p99_us={}",
+            "admitted={} busy={} malformed={} completed={} sessions={} depth_peak={} p50_us={} p99_us={} \
+             depth={} retryable={} journaled={} deduped={} panics={} rebuilds={}",
             self.admitted,
             self.busy_rejected,
             self.malformed,
@@ -291,6 +308,12 @@ impl StatsSnapshot {
             self.queue_depth_peak,
             self.p50_us,
             self.p99_us,
+            self.queue_depth,
+            self.retryable,
+            self.journaled,
+            self.deduped,
+            self.worker_panics,
+            self.rebuilds,
         )
     }
 
@@ -301,6 +324,7 @@ impl StatsSnapshot {
         for pair in text.split_whitespace() {
             let (key, value) = pair
                 .split_once('=')
+                .filter(|(k, _)| !k.is_empty())
                 .ok_or_else(|| format!("bad stats pair {pair:?}"))?;
             let v: u64 = value
                 .parse()
@@ -314,6 +338,12 @@ impl StatsSnapshot {
                 "depth_peak" => s.queue_depth_peak = v,
                 "p50_us" => s.p50_us = v,
                 "p99_us" => s.p99_us = v,
+                "depth" => s.queue_depth = v,
+                "retryable" => s.retryable = v,
+                "journaled" => s.journaled = v,
+                "deduped" => s.deduped = v,
+                "panics" => s.worker_panics = v,
+                "rebuilds" => s.rebuilds = v,
                 _ => {}
             }
         }
@@ -364,6 +394,7 @@ pub fn format_response(resp: &Response) -> String {
             freed_slots,
         } => format!("closed {session} {freed_slots}"),
         Response::Busy { retry_after_ms } => format!("busy {retry_after_ms}"),
+        Response::Retryable { reason } => format!("retryable {reason}"),
         Response::Rejected(e) => match e {
             ServiceError::UnknownSession(s) => format!("rejected unknown-session {s}"),
             ServiceError::SessionClosed(s) => format!("rejected session-closed {s}"),
@@ -424,6 +455,13 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         "busy" => Response::Busy {
             retry_after_ms: num(toks.next(), "retry_after_ms")?,
         },
+        "retryable" => {
+            // The reason is the remainder of the line verbatim, like a
+            // malformed-rejection message.
+            return Ok(Response::Retryable {
+                reason: rest.to_string(),
+            });
+        }
         "rejected" => {
             let kind = toks.next().ok_or("missing rejection kind")?;
             let error = match kind {
@@ -535,6 +573,9 @@ mod tests {
                 freed_slots: 992,
             },
             Response::Busy { retry_after_ms: 5 },
+            Response::Retryable {
+                reason: "shard worker panicked".to_string(),
+            },
             Response::Rejected(ServiceError::UnknownSession(77)),
             Response::Rejected(ServiceError::SessionClosed(0)),
             Response::Rejected(ServiceError::PlayerOutOfRange {
@@ -628,6 +669,12 @@ mod tests {
                     queue_depth_peak: 55,
                     p50_us: 120,
                     p99_us: 9000,
+                    queue_depth: 4,
+                    retryable: 2,
+                    journaled: 61,
+                    deduped: 1,
+                    worker_panics: 2,
+                    rebuilds: 1,
                 },
             },
             ServerFrame::Bye { seq: 12 },
@@ -659,6 +706,90 @@ mod tests {
             Some(&b"req 1 epoch 0"[..])
         );
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    /// Every counter survives the `k=v` codec field-exactly, including
+    /// the fault-tolerance counters appended after the v1 set — and a
+    /// decoder fed only the v1 prefix leaves the new counters at zero
+    /// (forward/backward compatibility of the unknown-key rule).
+    #[test]
+    fn stats_snapshot_round_trips_field_exactly() {
+        let stats = StatsSnapshot {
+            admitted: u64::MAX,
+            busy_rejected: 17,
+            malformed: 3,
+            completed: u64::MAX - 5,
+            open_sessions: 11,
+            queue_depth_peak: 256,
+            p50_us: 0,
+            p99_us: 1 << 62,
+            queue_depth: 9,
+            retryable: 8,
+            journaled: 1_000_000,
+            deduped: 7,
+            worker_panics: 2,
+            rebuilds: 1,
+        };
+        let text = stats.encode();
+        assert_eq!(StatsSnapshot::decode(&text), Ok(stats), "{text:?}");
+        // An old-format line (no fault counters) still decodes.
+        let old =
+            "admitted=5 busy=0 malformed=0 completed=5 sessions=1 depth_peak=2 p50_us=10 p99_us=20";
+        let decoded = StatsSnapshot::decode(old).expect("v1 prefix decodes");
+        assert_eq!(decoded.admitted, 5);
+        assert_eq!(decoded.retryable, 0);
+        assert_eq!(decoded.rebuilds, 0);
+        // A future key is skipped, not an error.
+        assert!(StatsSnapshot::decode("admitted=1 warp_factor=9").is_ok());
+        for bad in ["admitted", "admitted=x", "=5"] {
+            assert!(StatsSnapshot::decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// A `Read` source that hands out at most `chunk` bytes per call —
+    /// the TCP-segmentation shape `read_frame` must be insensitive to.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// A frame split across arbitrary segment boundaries — including a
+    /// 1-byte trickle that splits the length prefix itself — parses
+    /// byte-identically to a single-segment read.
+    #[test]
+    fn frames_parse_identically_across_segment_boundaries() {
+        let mut data = Vec::new();
+        write_frame(&mut data, b"req 7 probe 0 3 1,2,9").unwrap();
+        write_frame(&mut data, b"resp 7 probed 0 3 2 12345").unwrap();
+        write_frame(&mut data, b"").unwrap();
+        let whole: Vec<Option<Vec<u8>>> = {
+            let mut cursor = io::Cursor::new(data.clone());
+            (0..4).map(|_| read_frame(&mut cursor).unwrap()).collect()
+        };
+        for chunk in [1usize, 2, 3, 5, 7] {
+            let mut trickle = Trickle {
+                data: data.clone(),
+                pos: 0,
+                chunk,
+            };
+            for (i, expected) in whole.iter().enumerate() {
+                assert_eq!(
+                    read_frame(&mut trickle).unwrap(),
+                    *expected,
+                    "frame {i} at {chunk}-byte segments"
+                );
+            }
+        }
     }
 
     #[test]

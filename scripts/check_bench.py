@@ -448,6 +448,27 @@ def self_test():
     assert not any("SLOWER" in line for line in report), report
     assert not any("infx" in line for line in report), report
 
+    # e18's fault-recovery tables gate EVERY cell: the hex digest column
+    # and the yes/NO "matches traces/DIGESTS" verdict are non-numeric, so
+    # a single flipped nibble — or a verdict flip the digest cell would
+    # already catch — fails exactly. No report-only columns in e18.
+    rec_headers = ("kill at", "crash phase", "recovered ops", "digest", "matches traces/DIGESTS")
+    rec_base = doc(
+        [["11", "between ops", "9", "742004f52561bb35", "yes"]], headers=rec_headers
+    )
+    fails, _, _ = compare_docs(rec_base, rec_base)
+    assert not fails, fails
+    fails, _, _ = compare_docs(
+        rec_base,
+        doc([["11", "between ops", "9", "742004f52561bb34", "yes"]], headers=rec_headers),
+    )
+    assert len(fails) == 1 and "digest" in fails[0], fails
+    fails, _, _ = compare_docs(
+        rec_base,
+        doc([["11", "between ops", "9", "742004f52561bb35", "NO"]], headers=rec_headers),
+    )
+    assert len(fails) == 1 and "matches traces/DIGESTS" in fails[0], fails
+
     # A whole experiment dropped from the current artifact fails — even
     # when it contributed no tables, the case the per-table loop cannot
     # see (a silently dropped registry entry must not pass the gate).
@@ -479,7 +500,7 @@ def self_test():
     assert "scale=full" in text and "e13" in text, text
     assert any("total" in line and "401.500" in line for line in summary), summary
 
-    print("check_bench self-test OK (16 scenarios)")
+    print("check_bench self-test OK (17 scenarios)")
 
 
 if __name__ == "__main__":

@@ -103,6 +103,7 @@ fn overload_answers_busy_and_loses_nothing() {
         shards: 4,
         queue_depth: 1,
         retry_after_ms: 1,
+        ..NetConfig::default()
     });
 
     // The same script the server will effectively run: one open, one
@@ -177,6 +178,154 @@ fn overload_answers_busy_and_loses_nothing() {
     );
     assert_eq!(stats.admitted, lines.len() as u64);
     assert_eq!(stats.open_sessions, 1);
+}
+
+/// Regression for the admission-gauge audit: malformed op lines and
+/// other early-return paths answer *before* `depth_enter`, so a burst
+/// of garbage must leave the live queue-depth gauge at exactly zero —
+/// a leak here would eventually wedge admission control by making the
+/// queue look permanently full.
+#[test]
+fn malformed_burst_returns_queue_depth_to_zero() {
+    let addr = spawn_server(NetConfig::default());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    handshake(&mut stream);
+    for seq in 0..64u64 {
+        let frame = ClientFrame::Op {
+            seq,
+            line: format!("definitely-not-an-op {seq}"),
+        };
+        write_frame(&mut stream, frame.encode().as_bytes()).expect("send malformed op");
+    }
+    for _ in 0..64 {
+        match read_server_frame(&mut stream) {
+            ServerFrame::Resp { response, .. } => assert!(
+                matches!(response, Response::Rejected(ServiceError::Malformed { .. })),
+                "expected a typed malformed rejection, got {response:?}"
+            ),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    // One real op proves the connection (and admission) still works.
+    let frame = ClientFrame::Op {
+        seq: 99,
+        line: "query 0 1 -".to_string(),
+    };
+    write_frame(&mut stream, frame.encode().as_bytes()).expect("send valid op");
+    match read_server_frame(&mut stream) {
+        ServerFrame::Resp { seq: 99, response } => {
+            assert_eq!(
+                response,
+                Response::Rejected(ServiceError::UnknownSession(0))
+            );
+        }
+        other => panic!("unexpected frame {other:?}"),
+    }
+    let stats = request_stats(addr).expect("stats");
+    assert_eq!(stats.malformed, 64);
+    assert_eq!(stats.queue_depth, 0, "the depth gauge leaked");
+    assert_eq!(stats.admitted, stats.completed);
+}
+
+/// A client that sends half a frame and goes silent must not pin its
+/// connection thread forever: the per-socket read timeout fires, the
+/// server names the cause in a typed `err` frame, and the connection
+/// closes — while other connections keep working.
+#[test]
+fn stalled_connection_times_out_with_a_typed_error() {
+    let addr = spawn_server(NetConfig {
+        read_timeout_ms: 200,
+        ..NetConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    handshake(&mut stream);
+    // Two bytes of a four-byte length prefix, then silence.
+    stream.write_all(&[0, 0]).expect("send partial prefix");
+    match read_server_frame(&mut stream) {
+        ServerFrame::Err { message, .. } => assert!(
+            message.contains("read timeout"),
+            "error names the timeout: {message:?}"
+        ),
+        other => panic!("expected an err frame, got {other:?}"),
+    }
+    assert_eq!(
+        read_frame(&mut stream).expect("clean close"),
+        None,
+        "server closes the stalled connection"
+    );
+    // The listener is still healthy.
+    let stats = request_stats(addr).expect("stats after a timed-out peer");
+    assert_eq!(stats.admitted, 0);
+}
+
+/// Retried mutations apply exactly once: resending a barrier op with
+/// the same sequence number — on the same connection and from a
+/// different connection — answers the recorded response from the
+/// dedupe window instead of re-executing the world transition.
+#[test]
+fn resent_barriers_apply_exactly_once() {
+    let script = ops(&[
+        "open 24 48 3 3 11 naive 4 1 2000 13",
+        "probe 0 3 1,2,9",
+        "churn 0 2 2",
+        "query 0 1,3 -",
+        "close 0",
+    ]);
+    let expected = ServiceEngine::new().execute(&script);
+
+    for connections in [1usize, 3] {
+        let addr = spawn_server(NetConfig::default());
+        let mut streams: Vec<TcpStream> = (0..connections)
+            .map(|_| {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.set_nodelay(true).unwrap();
+                handshake(&mut s);
+                s
+            })
+            .collect();
+        let lines: Vec<String> = script.iter().map(byzscore_service::format_op).collect();
+        let mut answers = Vec::new();
+        for (seq, line) in lines.iter().enumerate() {
+            let frame = ClientFrame::Op {
+                seq: seq as u64,
+                line: line.clone(),
+            };
+            write_frame(&mut streams[0], frame.encode().as_bytes()).expect("send op");
+            let answer = match read_server_frame(&mut streams[0]) {
+                ServerFrame::Resp { response, .. } => response,
+                other => panic!("unexpected frame {other:?}"),
+            };
+            // Resend every barrier verbatim — once per open connection,
+            // exercising cross-connection dedupe when connections > 1.
+            if !script[seq].is_shardable() {
+                for stream in streams.iter_mut() {
+                    let frame = ClientFrame::Op {
+                        seq: seq as u64,
+                        line: line.clone(),
+                    };
+                    write_frame(stream, frame.encode().as_bytes()).expect("resend op");
+                    match read_server_frame(stream) {
+                        ServerFrame::Resp { response, .. } => assert_eq!(
+                            response, answer,
+                            "a deduped resend answered differently at seq {seq}"
+                        ),
+                        other => panic!("unexpected frame {other:?}"),
+                    }
+                }
+            }
+            answers.push(answer);
+        }
+        // If any resent churn/close had re-applied, the later query and
+        // close answers would differ from the single-execution run.
+        assert_eq!(
+            answers, expected,
+            "resends changed state at {connections} connection(s)"
+        );
+        let stats = request_stats(addr).expect("stats");
+        let barriers = script.iter().filter(|op| !op.is_shardable()).count() as u64;
+        assert_eq!(stats.deduped, barriers * connections as u64);
+        assert_eq!(stats.admitted, stats.completed);
+    }
 }
 
 /// A frame whose declared length exceeds the protocol cap cannot be

@@ -1,0 +1,296 @@
+//! Crash-recovery and fault-injection integration tests for the
+//! journaled TCP front-end: a server killed at any point resumes from
+//! its write-ahead journal with bit-identical answers, supervised
+//! workers turn panics into typed `Retryable` answers the client
+//! retries through, and injected connection faults (drops, stalls) are
+//! absorbed by the reconnect/deadline machinery — with every retried
+//! mutation applied exactly once.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use byzscore_service::net::{replay_with_options, request_stats, ReplayOptions};
+use byzscore_service::{
+    combined_digest, parse_op, FaultPlan, NetConfig, Request, Server, ServiceEngine, Trace,
+    TraceSpec,
+};
+
+fn spawn_server(config: NetConfig) -> SocketAddr {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    thread::spawn(move || server.run());
+    addr
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("byzscore_recovery_{tag}_{}", std::process::id()))
+}
+
+fn ops(lines: &[&str]) -> Vec<Request> {
+    lines
+        .iter()
+        .map(|l| parse_op(l).expect("test op parses"))
+        .collect()
+}
+
+/// The little nine-op script the fault tests drive: its op indices are
+/// the dispatcher indices (one connection, in-order sends), so a fault
+/// schedule addresses specific shapes — probes at 1/2/5, queries at
+/// 3/6, barriers at 0/4/7/8.
+fn fault_script() -> Vec<Request> {
+    ops(&[
+        "open 24 48 3 3 11 naive 4 1 2000 13",
+        "probe 0 3 1,2,9",
+        "probe 0 5 0,4",
+        "query 0 1,3 -",
+        "churn 0 2 2",
+        "probe 0 1 7",
+        "query 0 0,2 -",
+        "epoch 0",
+        "close 0",
+    ])
+}
+
+/// Kill-anywhere determinism at the socket level: replay a prefix of a
+/// generated trace against a journaled server, abandon it (the journal
+/// is all that survives a `kill -9`; a clean exit writes nothing
+/// extra), recover a fresh server from the journal, and replay the
+/// rest. The concatenated answers must equal the uninterrupted
+/// in-process run bit-for-bit — at a mid-session cut, right after the
+/// first op, and one op before the end.
+#[test]
+fn socket_recovery_resumes_with_identical_answers() {
+    let trace = Trace::generate(&TraceSpec::small(23));
+    let expected = trace.replay();
+    let len = trace.ops.len();
+    for cut in [1, len / 3, 2 * len / 3, len - 1] {
+        let path = temp_journal(&format!("cut{cut}"));
+        let _ = std::fs::remove_file(&path);
+
+        let before = spawn_server(NetConfig {
+            journal: Some(path.clone()),
+            ..NetConfig::default()
+        });
+        let first = replay_with_options(before, &trace.ops[..cut], ReplayOptions::default())
+            .expect("prefix replay succeeds");
+
+        let recovered = Server::bind(
+            "127.0.0.1:0",
+            NetConfig {
+                journal: Some(path.clone()),
+                recover: true,
+                ..NetConfig::default()
+            },
+        )
+        .expect("recovery bind succeeds");
+        let mutating = trace.ops[..cut].iter().filter(|o| o.is_mutating()).count();
+        assert_eq!(
+            recovered.recovered_ops(),
+            mutating,
+            "recovery replays exactly the journaled (mutating) prefix at cut {cut}"
+        );
+        let after = recovered.local_addr();
+        thread::spawn(move || recovered.run());
+        let rest = replay_with_options(after, &trace.ops[cut..], ReplayOptions::default())
+            .expect("post-recovery replay succeeds");
+
+        let mut all = first.responses;
+        all.extend(rest.responses);
+        assert_eq!(
+            combined_digest(&all),
+            combined_digest(&expected),
+            "digest diverged across a crash at op {cut}"
+        );
+        assert_eq!(all, expected, "answers diverged across a crash at op {cut}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A torn tail — the op line a crash cut mid-write — is dropped on
+/// recovery (it never executed: execution follows the fsynced append),
+/// truncated from the file, and the journal keeps accepting appends.
+#[test]
+fn torn_journal_tail_is_dropped_and_recovery_continues() {
+    use std::io::Write as _;
+
+    let trace = Trace::generate(&TraceSpec::small(29));
+    let expected = trace.replay();
+    let cut = trace.ops.len() / 2;
+    let path = temp_journal("torn");
+    let _ = std::fs::remove_file(&path);
+
+    let before = spawn_server(NetConfig {
+        journal: Some(path.clone()),
+        ..NetConfig::default()
+    });
+    let first = replay_with_options(before, &trace.ops[..cut], ReplayOptions::default())
+        .expect("prefix replay succeeds");
+
+    // A crash mid-append: a seq annotation and half an op line, no
+    // trailing newline.
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("journal exists");
+    file.write_all(b"# wal seq=9999\nchurn 0 9")
+        .expect("append torn tail");
+    drop(file);
+
+    let recovered = Server::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            journal: Some(path.clone()),
+            recover: true,
+            ..NetConfig::default()
+        },
+    )
+    .expect("recovery tolerates the torn tail");
+    let mutating = trace.ops[..cut].iter().filter(|o| o.is_mutating()).count();
+    assert_eq!(recovered.recovered_ops(), mutating, "torn op never counts");
+    let after = recovered.local_addr();
+    thread::spawn(move || recovered.run());
+    let rest = replay_with_options(after, &trace.ops[cut..], ReplayOptions::default())
+        .expect("post-recovery replay succeeds");
+
+    let mut all = first.responses;
+    all.extend(rest.responses);
+    assert_eq!(all, expected, "answers diverged across a torn-tail crash");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Run the fault script against a journaled server carrying `plan`,
+/// with the resilient client; return the replay plus the server addr
+/// for stats.
+fn run_with_faults(
+    tag: &str,
+    plan: FaultPlan,
+    options: ReplayOptions,
+) -> (byzscore_service::SocketReplay, SocketAddr, PathBuf) {
+    let path = temp_journal(tag);
+    let _ = std::fs::remove_file(&path);
+    let addr = spawn_server(NetConfig {
+        journal: Some(path.clone()),
+        fault: Arc::new(plan),
+        ..NetConfig::default()
+    });
+    let replay =
+        replay_with_options(addr, &fault_script(), options).expect("faulted replay completes");
+    (replay, addr, path)
+}
+
+/// A shard worker panicking mid-probe answers a typed `Retryable`, the
+/// server keeps running, and the client's resend lands the exact
+/// in-process answer — the probe applies once (idempotent re-post).
+#[test]
+fn worker_panic_on_a_probe_is_retried_through() {
+    let expected = ServiceEngine::new().execute(&fault_script());
+    let plan = FaultPlan::parse("panic-worker@2").expect("plan parses");
+    let (replay, addr, path) = run_with_faults("panic_probe", plan, ReplayOptions::default());
+    assert_eq!(
+        replay.responses, expected,
+        "answers diverged under a worker panic"
+    );
+    assert_eq!(replay.retryable_retries, 1, "exactly one typed retry");
+    let stats = request_stats(addr).expect("server survived the panic");
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.retryable, 1);
+    assert_eq!(stats.admitted, stats.completed);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A worker panicking on one slice of a cross-shard query fails the
+/// whole query exactly once (no partial merge), and the retry answers
+/// identically — queries are pure reads, so nothing double-applies.
+#[test]
+fn worker_panic_on_a_query_slice_fails_the_query_once() {
+    let expected = ServiceEngine::new().execute(&fault_script());
+    let plan = FaultPlan::parse("panic-worker@6").expect("plan parses");
+    let (replay, addr, path) = run_with_faults("panic_query", plan, ReplayOptions::default());
+    assert_eq!(
+        replay.responses, expected,
+        "answers diverged under a query panic"
+    );
+    assert_eq!(
+        replay.retryable_retries, 1,
+        "one Retryable per failed query"
+    );
+    let stats = request_stats(addr).expect("server survived the panic");
+    assert!(stats.worker_panics >= 1, "at least one slice panicked");
+    assert_eq!(stats.retryable, 1, "the merge cell answered exactly once");
+    assert_eq!(stats.admitted, stats.completed);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A panic inside a barrier — write lock held, engine state unknown —
+/// poisons nothing observable: the dispatcher rebuilds the engine from
+/// the journal (which recorded the barrier before it ran), answers
+/// `Retryable`, and the client's resend hits the dedupe window, so the
+/// churn applies exactly once.
+#[test]
+fn barrier_panic_rebuilds_from_the_journal() {
+    let expected = ServiceEngine::new().execute(&fault_script());
+    let plan = FaultPlan::parse("panic-barrier@4").expect("plan parses");
+    let (replay, addr, path) = run_with_faults("panic_barrier", plan, ReplayOptions::default());
+    assert_eq!(
+        replay.responses, expected,
+        "answers diverged across a rebuild"
+    );
+    assert_eq!(replay.retryable_retries, 1);
+    let stats = request_stats(addr).expect("server survived the barrier panic");
+    assert_eq!(stats.rebuilds, 1, "one rebuild from the journal");
+    assert_eq!(stats.deduped, 1, "the resent churn hit the dedupe window");
+    assert_eq!(stats.admitted, stats.completed);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The server severing a connection mid-dispatch (the op executes, the
+/// answer is lost) looks like a network partition: the client
+/// reconnects, resends its pending ops, and finishes with the exact
+/// uninterrupted answers.
+#[test]
+fn dropped_connection_reconnects_and_resends() {
+    let expected = ServiceEngine::new().execute(&fault_script());
+    let plan = FaultPlan::parse("drop-conn@5").expect("plan parses");
+    let (replay, _addr, path) = run_with_faults("drop_conn", plan, ReplayOptions::default());
+    assert_eq!(
+        replay.responses, expected,
+        "answers diverged across a dropped connection"
+    );
+    assert!(replay.reconnects >= 1, "the client reconnected");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A wedged server (the connection thread stalls before admission)
+/// trips the client's per-request deadline; the reconnect resends the
+/// barrier, and when the stalled thread finally admits the original
+/// copy it hits the dedupe window — the epoch advances exactly once.
+#[test]
+fn stalled_admission_trips_the_deadline_and_dedupes() {
+    let expected = ServiceEngine::new().execute(&fault_script());
+    let plan = FaultPlan::parse("stall@7:900").expect("plan parses");
+    let options = ReplayOptions {
+        deadline: Some(Duration::from_millis(250)),
+        ..ReplayOptions::default()
+    };
+    let (replay, addr, path) = run_with_faults("stall", plan, options);
+    assert_eq!(
+        replay.responses, expected,
+        "answers diverged across a stall"
+    );
+    assert!(replay.reconnects >= 1, "the deadline forced a reconnect");
+    // Let the stalled thread wake up and flush its stale admission.
+    thread::sleep(Duration::from_millis(1200));
+    let stats = request_stats(addr).expect("stats");
+    assert_eq!(
+        stats.admitted, stats.completed,
+        "the stale admission was answered"
+    );
+    assert!(
+        stats.deduped >= 1,
+        "the stale barrier hit the dedupe window"
+    );
+    let _ = std::fs::remove_file(&path);
+}
