@@ -1,0 +1,5 @@
+//! Entry point for experiment `e19` (checkpointed WAL compaction).
+
+fn main() {
+    byzscore_bench::cli::single_main("e19");
+}

@@ -9,6 +9,7 @@
 mod ablations;
 mod blocks_exp;
 mod byzantine_exp;
+mod compaction_exp;
 mod dynamic_exp;
 mod protocol_exp;
 mod recovery_exp;
@@ -18,6 +19,7 @@ mod service_exp;
 pub use ablations::{a1_select, a2_votes, a3_threshold};
 pub use blocks_exp::{e01_rselect, e02_zero_radius, e03_small_radius, e04_sample_concentration};
 pub use byzantine_exp::{e09_byzantine, e10_election, e11_comparison};
+pub use compaction_exp::e19_compaction;
 pub use dynamic_exp::{e14_churn_robust, e15_adaptive_corruption, e16_drifting_truth};
 pub use protocol_exp::{
     e05_clustering, e06_probe_complexity, e07_error_vs_d, e08_lower_bound, e12_budgets,

@@ -12,7 +12,7 @@ use crate::{experiments as e, Scale};
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Short stable id (`e01` … `e17`, `a1` … `a3`), the `--only` key.
+    /// Short stable id (`e01` … `e19`, `a1` … `a3`), the `--only` key.
     pub id: &'static str,
     /// Human-readable slug (`rselect`, `byzantine`, …).
     pub name: &'static str,
@@ -169,6 +169,14 @@ pub static REGISTRY: &[Experiment] = &[
         runner: e::e18_fault_recovery,
     },
     Experiment {
+        id: "e19",
+        name: "compaction",
+        description:
+            "Checkpointed WAL compaction: session snapshots bound the replayable journal tail by the compaction threshold, torn checkpoints fall back to the rotated previous generation, and every recovery lands the pinned digest",
+        tags: &["service", "robustness"],
+        runner: e::e19_compaction,
+    },
+    Experiment {
         id: "a1",
         name: "select-ablation",
         description: "Ablation: Select batch size and elimination constants",
@@ -227,7 +235,7 @@ mod tests {
             assert!(!x.description.is_empty(), "{} lacks a description", x.id);
             assert!(!x.tags.is_empty(), "{} lacks tags", x.id);
         }
-        assert_eq!(REGISTRY.len(), 21);
+        assert_eq!(REGISTRY.len(), 22);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! scored replay <in.trace> [--threads T]
 //! scored serve [--listen ADDR] [--shards N] [--queue-depth N] [--threads T]
 //!              [--journal PATH | --recover PATH]
+//!              [--compact-every N] [--compact-bytes N]
 //!              [--read-timeout-ms N] [--write-timeout-ms N]
 //! scored client <ADDR> <in.trace> [--connections N] [--shutdown]
 //!              [--deadline-ms N] [--retry-seed S] [--throttle-ms N]
+//! scored compact <journal> [--shards N]
 //! ```
 //!
 //! `gen` writes a deterministic trace file; `replay` executes one and
@@ -33,13 +35,24 @@
 //! works. Fault-injected builds (`--features fault-inject`) add
 //! `serve --fault SPEC` with deterministic kill/panic/drop/stall
 //! schedules.
+//!
+//! Compaction: `--compact-every N` / `--compact-bytes B` bound the
+//! journal tail — once the threshold is crossed, the server writes a
+//! fsynced `byzscore-ckpt/v1` snapshot of the full engine state next to
+//! the journal and atomically truncates the journal to an empty tail,
+//! so recovery replays at most one threshold's worth of ops instead of
+//! the whole history. `scored compact <journal>` runs one offline
+//! cycle on an idle journal. The recovery print names its source
+//! (checkpoint vs full journal); the post-truncation tail is still a
+//! valid trace file.
 
 use std::io::BufRead;
 
 use byzscore_board::par::set_thread_limit;
 use byzscore_service::{
-    combined_digest, net, parse_op, JournaledEngine, NetConfig, ReplayOptions, Response, Server,
-    ServiceAlgorithm, ServiceEngine, ServiceError, Trace, TraceSpec,
+    combined_digest, net, parse_op, CompactionPolicy, JournaledEngine, NetConfig, ReplayOptions,
+    Response, Server, ServiceAlgorithm, ServiceEngine, ServiceError, Trace, TraceSpec,
+    DEFAULT_SHARDS,
 };
 
 fn usage() -> ! {
@@ -50,9 +63,11 @@ fn usage() -> ! {
          \u{20}      scored replay <in.trace> [--threads T]\n\
          \u{20}      scored serve [--listen ADDR] [--shards N] [--queue-depth N] [--threads T]\n\
          \u{20}                   [--journal PATH | --recover PATH]\n\
+         \u{20}                   [--compact-every N] [--compact-bytes N]\n\
          \u{20}                   [--read-timeout-ms N] [--write-timeout-ms N]\n\
          \u{20}      scored client <ADDR> <in.trace> [--connections N] [--shutdown]\n\
-         \u{20}                   [--deadline-ms N] [--retry-seed S] [--throttle-ms N]"
+         \u{20}                   [--deadline-ms N] [--retry-seed S] [--throttle-ms N]\n\
+         \u{20}      scored compact <journal> [--shards N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +89,7 @@ fn main() {
         Some("replay") => replay(&argv[1..]),
         Some("serve") => serve(&argv[1..]),
         Some("client") => client(&argv[1..]),
+        Some("compact") => compact(&argv[1..]),
         _ => usage(),
     }
 }
@@ -191,6 +207,8 @@ fn serve(args: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--compact-every" => config.compact_every = Some(parse_num(&mut it, flag)),
+            "--compact-bytes" => config.compact_bytes = Some(parse_num(&mut it, flag)),
             "--read-timeout-ms" => config.read_timeout_ms = parse_num(&mut it, flag),
             "--write-timeout-ms" => config.write_timeout_ms = parse_num(&mut it, flag),
             #[cfg(feature = "fault-inject")]
@@ -221,8 +239,15 @@ fn serve_socket(addr: &str, config: NetConfig) {
             std::process::exit(1);
         }
     };
-    if server.recovered_ops() > 0 {
-        println!("recovered {} ops from the journal", server.recovered_ops());
+    // The chaos harness greps `^recovered` — keep the "recovered N
+    // ops" prefix; the trailing source names checkpoint vs full-journal
+    // recovery.
+    if let Some(source) = server.recovery_source() {
+        println!(
+            "recovered {} ops from {}",
+            server.recovered_ops(),
+            source.describe()
+        );
     }
     // The e2e harness greps this line for the actual port (`--listen
     // 127.0.0.1:0` lets the OS choose).
@@ -236,18 +261,28 @@ fn serve_stdin(config: &NetConfig) {
     // With a journal path the stdin loop gets the same durability as
     // the socket server: append+fsync before execute, recovery replay
     // with `--recover`, per-seq dedupe (seq = input line index).
+    let policy = CompactionPolicy {
+        every: config.compact_every,
+        bytes: config.compact_bytes,
+    };
     let mut journaled = match &config.journal {
-        Some(path) if config.recover => match JournaledEngine::recover(path, config.shards) {
-            Ok((engine, replayed)) => {
-                println!("recovered {replayed} ops from the journal");
-                Some(engine)
+        Some(path) if config.recover => {
+            match JournaledEngine::recover_with(path, config.shards, policy) {
+                Ok((engine, report)) => {
+                    println!(
+                        "recovered {} ops from {}",
+                        report.replayed,
+                        report.source.describe()
+                    );
+                    Some(engine)
+                }
+                Err(e) => {
+                    eprintln!("scored: cannot recover {}: {e}", path.display());
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("scored: cannot recover {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        },
-        Some(path) => match JournaledEngine::create(path, config.shards) {
+        }
+        Some(path) => match JournaledEngine::create_with(path, config.shards, policy) {
             Ok(engine) => Some(engine),
             Err(e) => {
                 eprintln!("scored: cannot create journal {}: {e}", path.display());
@@ -340,4 +375,44 @@ fn client(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// Offline compaction of an idle journal: recover (checkpoint-aware),
+/// then run one checkpoint + truncate cycle so the next recovery
+/// replays an empty tail. Only safe with no server appending.
+fn compact(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let mut shards = DEFAULT_SHARDS;
+    let rest: Vec<String> = args[1..].to_vec();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => shards = parse_num(&mut it, flag),
+            _ => usage(),
+        }
+    }
+    let path = std::path::PathBuf::from(path);
+    let (mut engine, report) =
+        match JournaledEngine::recover_with(&path, shards, CompactionPolicy::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("scored: cannot recover {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+    println!(
+        "recovered {} ops from {}",
+        report.replayed,
+        report.source.describe()
+    );
+    if let Err(e) = engine.compact() {
+        eprintln!("scored: compaction failed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "checkpointed {} ops; journal truncated to an empty tail",
+        engine.history_ops()
+    );
 }

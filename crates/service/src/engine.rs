@@ -253,34 +253,9 @@ impl ServiceEngine {
     fn open(&mut self, spec: SessionSpec) -> Response {
         let sid = self.sessions.len() as u64;
         let players = spec.players.max(1);
-        let pool_spec = ClusterSpec {
-            players: players * 2,
-            objects: spec.objects.max(1),
-            clusters: spec.clusters.clamp(1, players),
-            diameter: spec.diameter,
-            seed: spec.world_seed,
-        };
-        let source = ProceduralTruth::new(pool_spec);
-        let pool_planted = Planted {
-            assignment: source.assignment(),
-            clusters: source.clusters(),
-            centers: source.centers().to_vec(),
-            target_diameter: source.spec().diameter,
-            special_objects: None,
-        };
-        let pool: Arc<dyn TruthSource> = Arc::new(source);
+        let (pool, pool_planted) = pool_of(&spec);
         let warm = Arc::new(WarmStart::new());
-        let session = Session::builder()
-            .truth(pool.clone())
-            .params(ProtocolParams::with_budget(spec.budget.max(1)))
-            .adversary(
-                Corruption::Count {
-                    count: spec.corrupt,
-                },
-                Inverter,
-            )
-            .warm_start(warm.clone())
-            .build();
+        let session = fresh_session(&spec, &pool, &warm);
         let scope = self.board.scope(&[TAG_SERVICE, sid]).id();
         let mut state = SessionState {
             spec,
@@ -384,6 +359,49 @@ impl ServiceEngine {
     }
 }
 
+/// The fixed identity pool (capacity `2 × players`) and its planted
+/// structure, a pure function of the spec — `open` and checkpoint
+/// restore derive identical pools from identical specs.
+fn pool_of(spec: &SessionSpec) -> (Arc<dyn TruthSource>, Planted) {
+    let players = spec.players.max(1);
+    let pool_spec = ClusterSpec {
+        players: players * 2,
+        objects: spec.objects.max(1),
+        clusters: spec.clusters.clamp(1, players),
+        diameter: spec.diameter,
+        seed: spec.world_seed,
+    };
+    let source = ProceduralTruth::new(pool_spec);
+    let pool_planted = Planted {
+        assignment: source.assignment(),
+        clusters: source.clusters(),
+        centers: source.centers().to_vec(),
+        target_diameter: source.spec().diameter,
+        special_objects: None,
+    };
+    (Arc::new(source) as Arc<dyn TruthSource>, pool_planted)
+}
+
+/// A never-run session over the pool, carrying the spec's parameters,
+/// adversary, and the shared warm-start slot.
+fn fresh_session(
+    spec: &SessionSpec,
+    pool: &Arc<dyn TruthSource>,
+    warm: &Arc<WarmStart>,
+) -> Session {
+    Session::builder()
+        .truth(pool.clone())
+        .params(ProtocolParams::with_budget(spec.budget.max(1)))
+        .adversary(
+            Corruption::Count {
+                count: spec.corrupt,
+            },
+            Inverter,
+        )
+        .warm_start(warm.clone())
+        .build()
+}
+
 /// A zero-player truth used only as the pre-`recompute` placeholder.
 struct EmptyTruth;
 
@@ -423,6 +441,23 @@ fn session_mut(
 /// it, run the scoring algorithm, and refresh the caches every shardable
 /// op reads (score rows, shard map, probe oracle).
 fn recompute(state: &mut SessionState, shards: usize) {
+    let (truth, planted) = compose_world(state);
+    state.session = state.session.evolved(truth.clone(), Some(planted));
+    let seed = derive_seed(
+        state.spec.score_seed,
+        &[TAG_SCORE, state.epoch, state.churns],
+    );
+    let outcome = state.session.run(state.spec.algorithm.core(), seed);
+    state.last_max_err = outcome.errors.max as u64;
+    state.rows = outcome.output.expect("service sessions use the dense sink");
+    state.shard_of = shard_map(&state.rows, shards);
+    state.oracle = Oracle::new(truth);
+}
+
+/// Compose the session's current world — pool → drift epoch → identity
+/// remap — and its remapped planted structure. A pure function of
+/// `(spec, map, epoch)`, shared by `recompute` and checkpoint restore.
+fn compose_world(state: &SessionState) -> (Arc<dyn TruthSource>, Planted) {
     let stepped: Arc<dyn TruthSource> = if state.spec.drift_ppm > 0 {
         let schedule = DriftSchedule::uniform(
             state.spec.drift_ppm as f64 / 1e6,
@@ -434,26 +469,19 @@ fn recompute(state: &mut SessionState, shards: usize) {
     };
     let truth: Arc<dyn TruthSource> = Arc::new(RemappedTruth::new(stepped, state.map.clone()));
     let planted = remap_planted(&state.pool_planted, &state.map);
-    state.session = state.session.evolved(truth.clone(), Some(planted));
-    let seed = derive_seed(
-        state.spec.score_seed,
-        &[TAG_SCORE, state.epoch, state.churns],
-    );
-    let outcome = state.session.run(state.spec.algorithm.core(), seed);
-    state.last_max_err = outcome.errors.max as u64;
-    state.rows = outcome.output.expect("service sessions use the dense sink");
-    // Shard key: the group graph of the scores — players with identical
-    // rows share a group; groups spread round-robin over the shards.
-    let zvecs: Vec<_> = (0..state.rows.rows())
-        .map(|p| state.rows.row(p).to_bitvec())
-        .collect();
+    (truth, planted)
+}
+
+/// Shard key: the group graph of the scores — players with identical
+/// rows share a group; groups spread round-robin over the shards.
+fn shard_map(rows: &BitMatrix, shards: usize) -> Vec<u32> {
+    let zvecs: Vec<_> = (0..rows.rows()).map(|p| rows.row(p).to_bitvec()).collect();
     let grouping = cluster_players_with(&zvecs, 0, 1, NeighborStrategy::Grouped);
-    state.shard_of = grouping
+    grouping
         .assignment
         .iter()
         .map(|&g| g % shards as u32)
-        .collect();
-    state.oracle = Oracle::new(truth);
+        .collect()
 }
 
 /// Run the buffered shardable ops: validate serially, bucket by shard,
@@ -678,6 +706,126 @@ pub(crate) fn merge_preferences(session: u64, buf: &[Option<(u64, u64)>]) -> Res
         players: buf.len() as u32,
         ones: total,
         digest,
+    }
+}
+
+/// The durable slice of one resident session — everything a checkpoint
+/// must carry to reconstruct [`SessionState`] without replaying its
+/// history. The pool, the evolved world, the probe oracle, and the
+/// shard map are all pure functions of these fields, so they are
+/// *recomputed* at restore rather than serialized; the score rows are
+/// carried verbatim so restore never re-runs the scoring algorithm.
+pub(crate) struct SessionImage {
+    pub spec: SessionSpec,
+    pub map: Vec<u32>,
+    pub next_fresh: u32,
+    pub epoch: u64,
+    pub churns: u64,
+    pub last_max_err: u64,
+    pub rows: BitMatrix,
+    /// `(object, author, value)` claims in the session's board scope.
+    pub claims: Vec<(u32, u32, bool)>,
+}
+
+impl ServiceEngine {
+    /// Total session slots ever allocated (open + closed; ids are never
+    /// reused, so a restored engine must preserve this count).
+    pub(crate) fn session_slots(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Snapshot every open session as a [`SessionImage`], in id order.
+    pub(crate) fn images(&self) -> Vec<(u64, SessionImage)> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(sid, slot)| {
+                let state = slot.as_ref()?;
+                Some((
+                    sid as u64,
+                    SessionImage {
+                        spec: state.spec,
+                        map: state.map.clone(),
+                        next_fresh: state.next_fresh,
+                        epoch: state.epoch,
+                        churns: state.churns,
+                        last_max_err: state.last_max_err,
+                        rows: state.rows.clone(),
+                        claims: self.board.scope_claims(state.scope),
+                    },
+                ))
+            })
+            .collect()
+    }
+
+    /// Rebuild an engine from checkpoint images: `slots` closed slots,
+    /// then each image installed at its id. Derived state (pool, world,
+    /// oracle, shard map) is recomputed from the image's fields; the
+    /// score rows come from the image, so nothing re-runs the scorer —
+    /// restore cost is bounded by the checkpoint size, not the history.
+    pub(crate) fn from_images(
+        shards: usize,
+        slots: usize,
+        images: Vec<(u64, SessionImage)>,
+    ) -> ServiceEngine {
+        let mut engine = ServiceEngine::with_shards(shards);
+        engine.sessions = (0..slots).map(|_| None).collect();
+        for (sid, image) in images {
+            let state = engine.restore_state(sid, image);
+            let slot = engine
+                .sessions
+                .get_mut(sid as usize)
+                .expect("image id within slot count");
+            *slot = Some(state);
+        }
+        engine
+    }
+
+    /// Reconstruct one [`SessionState`] from its image: re-derive the
+    /// pool and a fresh (never-run) session exactly as `open` would,
+    /// re-register the board scope and re-post its claims, then install
+    /// the checkpointed rows and recompute the caches they determine.
+    /// The session itself is left un-evolved — the next barrier's
+    /// `recompute` evolves it onto the same world a cold open would,
+    /// and warm-vs-cold bit-identity is pinned in core.
+    fn restore_state(&self, sid: u64, image: SessionImage) -> SessionState {
+        let SessionImage {
+            spec,
+            map,
+            next_fresh,
+            epoch,
+            churns,
+            last_max_err,
+            rows,
+            claims,
+        } = image;
+        let (pool, pool_planted) = pool_of(&spec);
+        let warm = Arc::new(WarmStart::new());
+        let session = fresh_session(&spec, &pool, &warm);
+        let scope = self.board.scope(&[TAG_SERVICE, sid]).id();
+        for &(object, author, value) in &claims {
+            self.board.post_claim(scope, author, object, value);
+        }
+        let mut state = SessionState {
+            spec,
+            pool,
+            pool_planted,
+            map,
+            next_fresh,
+            epoch,
+            churns,
+            warm,
+            session,
+            oracle: Oracle::new_uncached(Arc::new(EmptyTruth) as Arc<dyn TruthSource>),
+            rows,
+            shard_of: Vec::new(),
+            scope,
+            last_max_err,
+        };
+        let (truth, _planted) = compose_world(&state);
+        state.shard_of = shard_map(&state.rows, self.shards);
+        state.oracle = Oracle::new(truth);
+        state
     }
 }
 

@@ -22,7 +22,15 @@
 //! drop-conn@5           sever op 5's client connection at dispatch
 //! stall@3:600           sleep 600 ms in the connection thread before
 //!                       admitting op 3 (a wedged-server simulation)
+//! kill@checkpoint       abort right after the first compaction cycle
+//!                       completes (kill@checkpoint:N for cycle N)
+//! torn-checkpoint@1     write compaction cycle 1's checkpoint torn
+//!                       (footer missing) and abort before the journal
+//!                       is truncated — the tear the footer exists for
 //! ```
+//!
+//! Checkpoint faults are keyed by the 0-based *compaction-cycle index*
+//! rather than an op index.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -40,6 +48,12 @@ pub enum FaultKind {
     DropConn,
     /// Stall the connection thread for this long before admission.
     Stall(Duration),
+    /// Abort right after a compaction cycle completes (checkpoint
+    /// written, journal truncated) — keyed by cycle index.
+    KillCheckpoint,
+    /// Install a torn checkpoint (no footer) and abort before the
+    /// journal is truncated — keyed by cycle index.
+    TornCheckpoint,
 }
 
 #[derive(Debug)]
@@ -74,7 +88,13 @@ impl FaultPlan {
                     .map_err(|_| format!("bad op index in fault slot {part:?}"))
             };
             let (at, kind) = match kind_tok {
+                "kill" if at_tok == "checkpoint" => (0, FaultKind::KillCheckpoint),
+                "kill" if at_tok.starts_with("checkpoint:") => {
+                    let cycle_tok = &at_tok["checkpoint:".len()..];
+                    (parse_at(cycle_tok)?, FaultKind::KillCheckpoint)
+                }
                 "kill" => (parse_at(at_tok)?, FaultKind::Kill),
+                "torn-checkpoint" => (parse_at(at_tok)?, FaultKind::TornCheckpoint),
                 "panic-worker" => (parse_at(at_tok)?, FaultKind::PanicWorker),
                 "panic-barrier" => (parse_at(at_tok)?, FaultKind::PanicBarrier),
                 "drop-conn" => (parse_at(at_tok)?, FaultKind::DropConn),
@@ -149,6 +169,28 @@ impl FaultPlan {
         }
     }
 
+    /// Abort the process if a `kill@checkpoint` slot is scheduled at
+    /// compaction cycle `cycle` — called *after* the cycle completes,
+    /// so recovery must come up from the fresh checkpoint plus an
+    /// empty tail.
+    pub fn kill_checkpoint_at(&self, cycle: u64) {
+        if self
+            .fire(cycle, |k| k == FaultKind::KillCheckpoint)
+            .is_some()
+        {
+            eprintln!("fault-inject: kill after compaction cycle {cycle}");
+            std::process::abort();
+        }
+    }
+
+    /// True when compaction cycle `cycle` should install a torn
+    /// checkpoint instead of a real one (claims the slot); the caller
+    /// aborts before truncating the journal.
+    pub fn torn_checkpoint_at(&self, cycle: u64) -> bool {
+        self.fire(cycle, |k| k == FaultKind::TornCheckpoint)
+            .is_some()
+    }
+
     /// True when no slots are scheduled.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
@@ -172,6 +214,23 @@ mod tests {
         assert!(plan.barrier_panic_at(9));
         assert!(!plan.drop_conn_at(9), "kinds do not cross-fire");
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_faults_parse_and_key_on_cycle_index() {
+        let plan = FaultPlan::parse("torn-checkpoint@1,kill@checkpoint:2").unwrap();
+        assert!(!plan.torn_checkpoint_at(0));
+        assert!(plan.torn_checkpoint_at(1));
+        assert!(!plan.torn_checkpoint_at(1), "slots fire once");
+        // kill@checkpoint:2 must not abort the test process at other
+        // cycles; cycle 2 itself is exercised end-to-end in CI chaos.
+        plan.kill_checkpoint_at(0);
+        plan.kill_checkpoint_at(1);
+        // Bare kill@checkpoint defaults to cycle 0 — verify via parse
+        // round-trip against the non-aborting torn kind's key space.
+        let bare = FaultPlan::parse("kill@checkpoint").unwrap();
+        assert!(!bare.is_empty());
+        assert!(!bare.torn_checkpoint_at(0), "kinds do not cross-fire");
     }
 
     #[test]

@@ -47,6 +47,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
 use std::path::Path;
 
+use crate::checkpoint::RecoverySource;
 use crate::engine::ServiceEngine;
 use crate::request::{mix, Request, Response};
 use crate::workload::{format_op, parse_op, TraceError, TRACE_VERSION};
@@ -121,6 +122,25 @@ impl DedupeWindow {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Every recorded entry as `(partition, seq, key, response)`, in
+    /// per-partition FIFO order with partitions sorted (session-less
+    /// first). Re-`record`ing the list into an empty window reproduces
+    /// this window exactly — order included, so future evictions agree.
+    /// This is what a checkpoint serializes.
+    pub fn entries(&self) -> Vec<(Option<u64>, u64, u64, Response)> {
+        let mut partitions: Vec<Option<u64>> = self.order.keys().copied().collect();
+        partitions.sort_unstable();
+        let mut out = Vec::with_capacity(self.map.len());
+        for partition in partitions {
+            for &seq in &self.order[&partition] {
+                if let Some((key, resp)) = self.map.get(&(partition, seq)) {
+                    out.push((partition, seq, *key, resp.clone()));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Append handle on a write-ahead journal file.
@@ -148,11 +168,43 @@ impl Journal {
 
     /// Append one mutating op (seq annotation + op line, one write) and
     /// fsync before returning — the caller only executes the op once
-    /// this succeeds.
-    pub fn append(&mut self, seq: u64, op: &Request) -> io::Result<()> {
+    /// this succeeds. Returns the bytes appended (for byte-threshold
+    /// compaction accounting).
+    pub fn append(&mut self, seq: u64, op: &Request) -> io::Result<usize> {
         let entry = format!("# wal seq={seq}\n{}\n", format_op(op));
         self.file.write_all(entry.as_bytes())?;
-        self.file.sync_data()
+        self.file.sync_data()?;
+        Ok(entry.len())
+    }
+
+    /// Start a fresh post-checkpoint tail atomically: write a sibling
+    /// tmp file holding the header plus a `# ckpt ops=K` base marker,
+    /// fsync it, rename it over the journal, and return an append
+    /// handle on the new file. The marker is a comment, so the tail is
+    /// still a valid `byzscore-trace/v1` file — and the rename is the
+    /// *last* step of a compaction cycle, after the checkpoint at `K`
+    /// is durable, so a crash anywhere leaves a journal whose base is
+    /// covered by a loadable checkpoint.
+    pub fn truncate_to_base(path: &Path, base: u64) -> io::Result<Journal> {
+        let tmp = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tail.tmp");
+            std::path::PathBuf::from(os)
+        };
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(format!("{TRACE_VERSION}\n# ckpt ops={base}\n").as_bytes())?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // The old append handle (if any) points at the unlinked inode;
+        // the caller must adopt this handle on the renamed file.
+        Journal::open_append(path)
     }
 }
 
@@ -167,11 +219,21 @@ pub struct JournalEntry {
     pub op: Request,
 }
 
+/// A parsed journal: the compaction base — mutating ops already
+/// captured by the checkpoint this journal was last truncated against
+/// (0 for a never-compacted journal) — plus the tail entries.
+pub struct ParsedJournal {
+    /// Ops covered by the checkpoint the tail starts after.
+    pub base: u64,
+    /// The journaled tail ops, in order.
+    pub entries: Vec<JournalEntry>,
+}
+
 /// Parse journal text (assumed complete — see [`recover`] for the
-/// torn-tail file path). A trailing `# wal seq=N` with no following op
-/// line is ignored: the annotated op was never appended, so it was
-/// never executed.
-pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, TraceError> {
+/// torn-tail file path), including its `# ckpt ops=K` base marker. A
+/// trailing `# wal seq=N` with no following op line is ignored: the
+/// annotated op was never appended, so it was never executed.
+pub fn parse_journal_with_base(text: &str) -> Result<ParsedJournal, TraceError> {
     let trace_err = |line: usize, message: String| TraceError { line, message };
     let mut lines = text.lines().enumerate();
     match lines.next() {
@@ -184,6 +246,7 @@ pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, TraceError> {
         }
         None => return Err(trace_err(0, "empty journal".to_string())),
     }
+    let mut base = 0u64;
     let mut entries = Vec::new();
     let mut pending_seq: Option<u64> = None;
     for (i, raw) in lines {
@@ -197,6 +260,11 @@ pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, TraceError> {
                     Some(tok.trim().parse::<u64>().map_err(|_| {
                         trace_err(i + 1, format!("bad wal seq annotation {line:?}"))
                     })?);
+            } else if let Some(tok) = comment.trim().strip_prefix("ckpt ops=") {
+                base = tok
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| trace_err(i + 1, format!("bad ckpt base marker {line:?}")))?;
             }
             continue;
         }
@@ -208,30 +276,51 @@ pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, TraceError> {
             op,
         });
     }
-    Ok(entries)
+    Ok(ParsedJournal { base, entries })
 }
 
-/// What [`recover`] rebuilds from a journal.
+/// Parse journal text into its entries, ignoring any compaction base
+/// marker. Prefer [`parse_journal_with_base`] when recovering — a
+/// compacted journal's entries are only the tail of the history.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, TraceError> {
+    parse_journal_with_base(text).map(|parsed| parsed.entries)
+}
+
+/// What [`recover`] rebuilds from a journal (and its checkpoints).
 pub struct Recovered {
-    /// The engine with every journaled op applied, via the batch path.
+    /// The engine with the full journaled history applied — restored
+    /// from a checkpoint where one covers the journal's base, with the
+    /// tail replayed via the batch path.
     pub engine: ServiceEngine,
-    /// Dedupe window restocked with the recovery-computed answer of
-    /// every seq-annotated barrier op (determinism makes these equal to
-    /// the answers the crashed server sent).
+    /// Dedupe window restocked from the checkpoint (if any) plus the
+    /// recovery-computed answer of every seq-annotated tail barrier op
+    /// (determinism makes these equal to the answers the crashed server
+    /// sent).
     pub dedupe: DedupeWindow,
-    /// The recovery-computed answers, in journal order.
+    /// The recovery-computed answers of the replayed tail, in journal
+    /// order.
     pub responses: Vec<Response>,
-    /// Ops replayed.
+    /// Ops re-executed during recovery — the journal tail only, which
+    /// compaction keeps bounded by the threshold.
     pub replayed: usize,
+    /// Where the pre-tail state came from.
+    pub source: RecoverySource,
+    /// The journal's compaction base (0 for a never-compacted journal).
+    pub journal_base: u64,
+    /// Mutating ops across the full history (base + tail).
+    pub history_ops: u64,
 }
 
-/// Rebuild engine state from journal text.
-pub fn recover_from_text(text: &str, shards: usize) -> Result<Recovered, TraceError> {
-    let entries = parse_journal(text)?;
+/// Execute `entries` against `engine`, restocking `dedupe` from the
+/// seq-annotated barrier answers — the shared tail-replay step of both
+/// recovery paths.
+fn replay_entries(
+    engine: &mut ServiceEngine,
+    dedupe: &mut DedupeWindow,
+    entries: &[JournalEntry],
+) -> Vec<Response> {
     let ops: Vec<Request> = entries.iter().map(|e| e.op.clone()).collect();
-    let mut engine = ServiceEngine::with_shards(shards);
     let responses = engine.execute(&ops);
-    let mut dedupe = DedupeWindow::new();
     for (entry, resp) in entries.iter().zip(&responses) {
         if let Some(seq) = entry.seq {
             if !entry.op.is_shardable() {
@@ -239,17 +328,58 @@ pub fn recover_from_text(text: &str, shards: usize) -> Result<Recovered, TraceEr
             }
         }
     }
+    responses
+}
+
+/// Rebuild engine state from journal text alone. Text-level recovery
+/// cannot see checkpoint files, so it refuses a compacted journal
+/// (non-zero base): its entries are only a tail of the history. Use
+/// [`recover`] with the file path for checkpoint-aware recovery.
+pub fn recover_from_text(text: &str, shards: usize) -> Result<Recovered, TraceError> {
+    let ParsedJournal { base, entries } = parse_journal_with_base(text)?;
+    if base > 0 {
+        return Err(TraceError {
+            line: 0,
+            message: format!(
+                "journal was compacted at {base} ops; recover from the file path so the \
+                 checkpoint can be loaded"
+            ),
+        });
+    }
+    let mut engine = ServiceEngine::with_shards(shards);
+    let mut dedupe = DedupeWindow::new();
+    let responses = replay_entries(&mut engine, &mut dedupe, &entries);
     Ok(Recovered {
         engine,
         dedupe,
-        replayed: ops.len(),
         responses,
+        replayed: entries.len(),
+        source: RecoverySource::FullJournal,
+        journal_base: 0,
+        history_ops: entries.len() as u64,
     })
 }
 
 /// Rebuild engine state from a journal file, truncating a torn tail
 /// (anything after the last newline) on disk first so subsequent
 /// appends continue a well-formed file.
+///
+/// # Recovery decision tree
+///
+/// 1. Heal the journal (drop any torn last line) and parse its base.
+/// 2. Load the best checkpoint beside it: the current `.ckpt` if its
+///    footer verifies, else the rotated `.ckpt.prev`. A checkpoint is
+///    usable when it covers the journal base (`ckpt.ops ≥ base`) —
+///    the cycle ordering (checkpoint durable *before* the journal is
+///    truncated) guarantees this for every crash window, so a torn
+///    current checkpoint always leaves a usable previous one.
+/// 3. With a usable checkpoint: restore it, skip the `ckpt.ops − base`
+///    tail entries it already contains, and replay the rest.
+/// 4. With no checkpoint at all and base 0: full-journal replay.
+/// 5. A compacted journal (base > 0) with no usable checkpoint means
+///    ops exist nowhere on disk — refuse loudly rather than serve a
+///    silently rewound history (only reachable by deleting/corrupting
+///    both checkpoint files out from under a compacted journal).
 pub fn recover(path: &Path, shards: usize) -> io::Result<Recovered> {
     let mut file = OpenOptions::new().read(true).write(true).open(path)?;
     let mut bytes = Vec::new();
@@ -263,44 +393,182 @@ pub fn recover(path: &Path, shards: usize) -> io::Result<Recovered> {
     drop(file);
     let text = String::from_utf8(bytes)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "journal is not UTF-8"))?;
-    recover_from_text(&text, shards)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    let ParsedJournal { base, entries } = parse_journal_with_base(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if let Some((ckpt, source)) = crate::checkpoint::load_latest(path, shards) {
+        if ckpt.ops >= base {
+            let skip = ((ckpt.ops - base) as usize).min(entries.len());
+            let tail = &entries[skip..];
+            let mut engine = ckpt.engine;
+            let mut dedupe = ckpt.dedupe;
+            let responses = replay_entries(&mut engine, &mut dedupe, tail);
+            return Ok(Recovered {
+                engine,
+                dedupe,
+                responses,
+                replayed: tail.len(),
+                source,
+                journal_base: base,
+                history_ops: base + entries.len() as u64,
+            });
+        }
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint at {} ops cannot cover the journal base {base}: ops in between \
+                 exist nowhere on disk",
+                ckpt.ops
+            ),
+        ));
+    }
+    if base > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("journal was compacted at {base} ops but no usable checkpoint loads"),
+        ));
+    }
+    let mut engine = ServiceEngine::with_shards(shards);
+    let mut dedupe = DedupeWindow::new();
+    let responses = replay_entries(&mut engine, &mut dedupe, &entries);
+    Ok(Recovered {
+        engine,
+        dedupe,
+        responses,
+        replayed: entries.len(),
+        source: RecoverySource::FullJournal,
+        journal_base: 0,
+        history_ops: entries.len() as u64,
+    })
+}
+
+/// When a journaled front-end runs a checkpoint + truncate cycle.
+/// Disabled by default; thresholds measure the journal *tail* (ops or
+/// bytes appended since the last checkpoint), so recovery replay work
+/// stays bounded by whichever threshold is set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompactionPolicy {
+    /// Compact once this many mutating ops accumulate past the last
+    /// checkpoint (`--compact-every`).
+    pub every: Option<u64>,
+    /// Compact once this many bytes accumulate past the last
+    /// checkpoint (`--compact-bytes`).
+    pub bytes: Option<u64>,
+}
+
+impl CompactionPolicy {
+    /// True when either threshold is set.
+    pub fn is_enabled(&self) -> bool {
+        self.every.is_some() || self.bytes.is_some()
+    }
+
+    /// True when the current tail crosses a threshold.
+    pub fn due(&self, tail_ops: u64, tail_bytes: u64) -> bool {
+        self.every.is_some_and(|n| tail_ops >= n) || self.bytes.is_some_and(|b| tail_bytes >= b)
+    }
+}
+
+/// What [`JournaledEngine::recover_with`] reports about a recovery.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Journal-tail ops re-executed.
+    pub replayed: usize,
+    /// Where the pre-tail state came from.
+    pub source: RecoverySource,
+    /// Mutating ops across the full history (checkpoint + tail).
+    pub history_ops: u64,
 }
 
 /// A [`ServiceEngine`] fronted by the WAL + dedupe pipeline — the
 /// single-threaded counterpart of the socket dispatcher, used by the
-/// stdin serve loop and the e18 fault-recovery experiment.
+/// stdin serve loop, `scored compact`, and the e18/e19 experiments.
 pub struct JournaledEngine {
     engine: ServiceEngine,
     journal: Journal,
     dedupe: DedupeWindow,
+    path: std::path::PathBuf,
+    policy: CompactionPolicy,
+    /// Mutating ops applied over the full history.
+    ops_applied: u64,
+    /// Ops covered by the last checkpoint (= the journal's base).
+    base: u64,
+    /// Bytes appended since the last checkpoint.
+    tail_bytes: u64,
+    /// Completed compaction cycles this process ran.
+    checkpoints: u64,
+    /// Journal entries removed by those cycles.
+    truncated_ops: u64,
 }
 
 impl JournaledEngine {
-    /// Fresh engine over a fresh journal.
+    /// Fresh engine over a fresh journal, compaction disabled.
     pub fn create(path: &Path, shards: usize) -> io::Result<JournaledEngine> {
+        JournaledEngine::create_with(path, shards, CompactionPolicy::default())
+    }
+
+    /// Fresh engine over a fresh journal with a compaction policy.
+    pub fn create_with(
+        path: &Path,
+        shards: usize,
+        policy: CompactionPolicy,
+    ) -> io::Result<JournaledEngine> {
         Ok(JournaledEngine {
             engine: ServiceEngine::with_shards(shards),
             journal: Journal::create(path)?,
             dedupe: DedupeWindow::new(),
+            path: path.to_path_buf(),
+            policy,
+            ops_applied: 0,
+            base: 0,
+            tail_bytes: 0,
+            checkpoints: 0,
+            truncated_ops: 0,
         })
     }
 
-    /// Rebuild from an existing journal and keep appending to it.
-    /// Returns the engine and how many ops were replayed.
+    /// Rebuild from an existing journal (checkpoint-aware) and keep
+    /// appending to it. Returns the engine and how many ops were
+    /// replayed — the journal tail only, when a checkpoint loads.
     pub fn recover(path: &Path, shards: usize) -> io::Result<(JournaledEngine, usize)> {
+        let (engine, report) =
+            JournaledEngine::recover_with(path, shards, CompactionPolicy::default())?;
+        Ok((engine, report.replayed))
+    }
+
+    /// Checkpoint-aware recovery with a compaction policy, reporting
+    /// the replayed tail length and the recovery source.
+    pub fn recover_with(
+        path: &Path,
+        shards: usize,
+        policy: CompactionPolicy,
+    ) -> io::Result<(JournaledEngine, RecoveryReport)> {
         let rec = recover(path, shards)?;
+        let report = RecoveryReport {
+            replayed: rec.replayed,
+            source: rec.source,
+            history_ops: rec.history_ops,
+        };
+        let tail_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         Ok((
             JournaledEngine {
                 engine: rec.engine,
                 journal: Journal::open_append(path)?,
                 dedupe: rec.dedupe,
+                path: path.to_path_buf(),
+                policy,
+                ops_applied: rec.history_ops,
+                base: rec.journal_base,
+                tail_bytes,
+                checkpoints: 0,
+                truncated_ops: 0,
             },
-            rec.replayed,
+            report,
         ))
     }
 
-    /// Dedupe-check, journal (mutating ops), then execute one op.
+    /// Dedupe-check, journal (mutating ops), then execute one op — and
+    /// run a compaction cycle when the policy says the tail crossed a
+    /// threshold (the engine is quiescent between `submit` calls, so
+    /// every post-op point is a safe checkpoint point).
     pub fn submit(&mut self, seq: u64, op: &Request) -> io::Result<Response> {
         if !op.is_shardable() {
             if let Some(resp) = self.dedupe.lookup(op.session(), seq, op_key(op)) {
@@ -308,14 +576,41 @@ impl JournaledEngine {
             }
         }
         if op.is_mutating() {
-            self.journal.append(seq, op)?;
+            self.tail_bytes += self.journal.append(seq, op)? as u64;
+            self.ops_applied += 1;
         }
         let resp = self.engine.execute(std::slice::from_ref(op)).remove(0);
         if !op.is_shardable() {
             self.dedupe
                 .record(op.session(), seq, op_key(op), resp.clone());
         }
+        if self.policy.due(self.tail_ops(), self.tail_bytes) {
+            // A failed compaction leaves the journal intact — log and
+            // keep serving; durability is unaffected.
+            if let Err(err) = self.compact() {
+                eprintln!("compaction failed (serving continues): {err}");
+            }
+        }
         Ok(resp)
+    }
+
+    /// Run one checkpoint + truncate cycle now, regardless of policy:
+    /// write the checkpoint at the current op count (rotating the
+    /// previous one), fsync it, truncate the journal to a fresh tail
+    /// via atomic rename, and adopt the new append handle.
+    pub fn compact(&mut self) -> io::Result<()> {
+        crate::checkpoint::save_checkpoint(
+            &self.path,
+            &self.engine,
+            &self.dedupe,
+            self.ops_applied,
+        )?;
+        self.journal = Journal::truncate_to_base(&self.path, self.ops_applied)?;
+        self.truncated_ops += self.ops_applied - self.base;
+        self.base = self.ops_applied;
+        self.tail_bytes = 0;
+        self.checkpoints += 1;
+        Ok(())
     }
 
     /// The engine behind the journal.
@@ -323,11 +618,32 @@ impl JournaledEngine {
         &self.engine
     }
 
+    /// Completed compaction cycles this process ran.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Journal entries removed by this process's compaction cycles.
+    pub fn truncated_ops(&self) -> u64 {
+        self.truncated_ops
+    }
+
+    /// Mutating ops currently in the journal tail — what a crash right
+    /// now would replay.
+    pub fn tail_ops(&self) -> u64 {
+        self.ops_applied - self.base
+    }
+
+    /// Mutating ops applied over the full history.
+    pub fn history_ops(&self) -> u64 {
+        self.ops_applied
+    }
+
     /// Fault-injection hook: journal an op *without* executing it, the
     /// on-disk state a crash between append and execute leaves behind.
     #[cfg(feature = "fault-inject")]
     pub fn journal_without_execute(&mut self, seq: u64, op: &Request) -> io::Result<()> {
-        self.journal.append(seq, op)
+        self.journal.append(seq, op).map(|_| ())
     }
 }
 

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod engine;
 pub mod fault;
 pub mod journal;
@@ -29,9 +30,12 @@ mod request;
 pub mod wire;
 pub mod workload;
 
+pub use checkpoint::{CheckpointError, RecoverySource, CKPT_VERSION};
 pub use engine::{ServiceEngine, DEFAULT_SHARDS, TAG_SERVICE};
 pub use fault::{FaultKind, FaultPlan};
-pub use journal::{DedupeWindow, Journal, JournaledEngine, Recovered};
+pub use journal::{
+    CompactionPolicy, DedupeWindow, Journal, JournaledEngine, Recovered, RecoveryReport,
+};
 pub use net::{NetConfig, ReplayOptions, Server, SocketReplay};
 pub use request::{
     combined_digest, mix, Request, Response, ServiceAlgorithm, ServiceError, SessionSpec,

@@ -62,10 +62,11 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLo
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::{self, RecoverySource};
 use crate::engine::{merge_preferences, probe_response, query_part, Routed, ServiceEngine};
 #[cfg(feature = "fault-inject")]
 use crate::fault::FaultPlan;
-use crate::journal::{self, op_key, DedupeWindow, Journal};
+use crate::journal::{self, op_key, CompactionPolicy, DedupeWindow, Journal};
 use crate::request::{mix, Request, Response, ServiceError};
 use crate::wire::{read_frame, write_frame, ClientFrame, ServerFrame, StatsSnapshot, WIRE_VERSION};
 use crate::workload::{format_op, parse_op};
@@ -111,6 +112,12 @@ pub struct NetConfig {
     /// Rebuild the engine and dedupe window from `journal` before
     /// serving (requires `journal`); the file keeps growing afterwards.
     pub recover: bool,
+    /// Checkpoint + truncate the journal once this many mutating ops
+    /// accumulate past the last checkpoint (`--compact-every`).
+    pub compact_every: Option<u64>,
+    /// Checkpoint + truncate the journal once this many bytes
+    /// accumulate past the last checkpoint (`--compact-bytes`).
+    pub compact_bytes: Option<u64>,
     /// Deterministic fault schedule (test builds only; the default
     /// empty plan makes every hook a no-op).
     #[cfg(feature = "fault-inject")]
@@ -127,6 +134,8 @@ impl Default for NetConfig {
             write_timeout_ms: 30_000,
             journal: None,
             recover: false,
+            compact_every: None,
+            compact_bytes: None,
             #[cfg(feature = "fault-inject")]
             fault: Arc::new(FaultPlan::none()),
         }
@@ -147,6 +156,14 @@ pub struct Server {
     /// Ops replayed from the journal at bind time (0 without
     /// `recover`).
     recovered_ops: usize,
+    /// Where the recovered state came from (`None` without `recover`).
+    recovery_source: Option<RecoverySource>,
+    /// Mutating ops across the full recovered history (checkpoint +
+    /// tail); the dispatcher's op counter starts here.
+    history_ops: u64,
+    /// Ops already covered by a checkpoint at bind time; the journal
+    /// tail starts past this base.
+    journal_base: u64,
 }
 
 impl Server {
@@ -155,33 +172,47 @@ impl Server {
     /// Pass port 0 to let the OS choose (read it back with
     /// [`Server::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<Server> {
-        let (engine, dedupe, journal, recovered_ops) = match (&config.journal, config.recover) {
-            (Some(path), true) => {
-                let rec = journal::recover(path, config.shards)?;
-                let journal = Journal::open_append(path)?;
-                (rec.engine, rec.dedupe, Some(journal), rec.replayed)
-            }
-            (Some(path), false) => (
-                ServiceEngine::with_shards(config.shards),
-                DedupeWindow::new(),
-                Some(Journal::create(path)?),
-                0,
-            ),
-            (None, true) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "recover requires a journal path",
-                ))
-            }
-            (None, false) => (
-                ServiceEngine::with_shards(config.shards),
-                DedupeWindow::new(),
-                None,
-                0,
-            ),
-        };
+        let (engine, dedupe, journal, recovered_ops, recovery) =
+            match (&config.journal, config.recover) {
+                (Some(path), true) => {
+                    let rec = journal::recover(path, config.shards)?;
+                    let journal = Journal::open_append(path)?;
+                    let recovery = (rec.source, rec.history_ops, rec.journal_base);
+                    (
+                        rec.engine,
+                        rec.dedupe,
+                        Some(journal),
+                        rec.replayed,
+                        Some(recovery),
+                    )
+                }
+                (Some(path), false) => (
+                    ServiceEngine::with_shards(config.shards),
+                    DedupeWindow::new(),
+                    Some(Journal::create(path)?),
+                    0,
+                    None,
+                ),
+                (None, true) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "recover requires a journal path",
+                    ))
+                }
+                (None, false) => (
+                    ServiceEngine::with_shards(config.shards),
+                    DedupeWindow::new(),
+                    None,
+                    0,
+                    None,
+                ),
+            };
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let (recovery_source, history_ops, journal_base) = match recovery {
+            Some((source, ops, base)) => (Some(source), ops, base),
+            None => (None, 0, 0),
+        };
         Ok(Server {
             listener,
             local_addr,
@@ -190,6 +221,9 @@ impl Server {
             dedupe,
             journal,
             recovered_ops,
+            recovery_source,
+            history_ops,
+            journal_base,
         })
     }
 
@@ -197,6 +231,13 @@ impl Server {
     /// [`NetConfig::recover`] was set).
     pub fn recovered_ops(&self) -> usize {
         self.recovered_ops
+    }
+
+    /// Where the recovered state came from: a checkpoint (plus the
+    /// journal tail) or the full journal. `None` without
+    /// [`NetConfig::recover`].
+    pub fn recovery_source(&self) -> Option<RecoverySource> {
+        self.recovery_source
     }
 
     /// The bound address.
@@ -215,6 +256,9 @@ impl Server {
             dedupe,
             journal,
             recovered_ops: _,
+            recovery_source: _,
+            history_ops,
+            journal_base,
         } = self;
         let engine = Arc::new(RwLock::new(engine));
         let stats = Arc::new(StatsInner::new());
@@ -240,6 +284,17 @@ impl Server {
         // local argument instead of a distributed one.
         let (admission_tx, admission_rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let dispatcher = {
+            // The recovered tail's on-disk size primes the byte
+            // threshold so a restart does not reset byte-based
+            // compaction progress.
+            let tail_bytes = config
+                .journal
+                .as_deref()
+                .and_then(|p| std::fs::metadata(p).ok())
+                .map_or(0, |m| m.len());
+            stats
+                .tail_len
+                .store(history_ops - journal_base, Ordering::Relaxed);
             let state = Dispatcher {
                 shard_txs,
                 engine: engine.clone(),
@@ -250,6 +305,14 @@ impl Server {
                 journal_path: config.journal.clone(),
                 shards: config.shards,
                 dispatched: 0,
+                policy: CompactionPolicy {
+                    every: config.compact_every,
+                    bytes: config.compact_bytes,
+                },
+                ops_applied: history_ops,
+                base: journal_base,
+                tail_bytes,
+                cycles: 0,
                 #[cfg(feature = "fault-inject")]
                 fault: config.fault.clone(),
             };
@@ -544,6 +607,19 @@ struct Dispatcher {
     journal_path: Option<PathBuf>,
     shards: usize,
     dispatched: u64,
+    /// Checkpoint/truncate thresholds (disabled when both are `None`).
+    policy: CompactionPolicy,
+    /// Mutating ops journaled across the full history (checkpoint +
+    /// tail) — what a checkpoint written now would cover.
+    ops_applied: u64,
+    /// Ops covered by the last checkpoint; `ops_applied - base` is the
+    /// replayable tail length.
+    base: u64,
+    /// Bytes appended to the journal since the last truncation.
+    tail_bytes: u64,
+    /// Completed compaction cycles this process (keys checkpoint
+    /// faults; the lifetime stat lives in `stats.checkpoints`).
+    cycles: u64,
     #[cfg(feature = "fault-inject")]
     fault: Arc<FaultPlan>,
 }
@@ -589,15 +665,25 @@ impl Dispatcher {
         // resend runs it fresh — either way exactly once.
         if req.is_mutating() {
             if let Some(journal) = &mut self.journal {
-                if journal.append(reply.seq, &req).is_err() {
-                    // A journal we cannot write is a durability promise
-                    // we cannot keep: refuse the op, keep serving.
-                    reply.answer(&Response::Retryable {
-                        reason: "journal append failed; resend the op".to_string(),
-                    });
-                    return;
+                match journal.append(reply.seq, &req) {
+                    Err(_) => {
+                        // A journal we cannot write is a durability
+                        // promise we cannot keep: refuse the op, keep
+                        // serving.
+                        reply.answer(&Response::Retryable {
+                            reason: "journal append failed; resend the op".to_string(),
+                        });
+                        return;
+                    }
+                    Ok(bytes) => {
+                        self.stats.journaled.fetch_add(1, Ordering::Relaxed);
+                        self.ops_applied += 1;
+                        self.tail_bytes += bytes as u64;
+                        self.stats
+                            .tail_len
+                            .store(self.ops_applied - self.base, Ordering::Relaxed);
+                    }
                 }
-                self.stats.journaled.fetch_add(1, Ordering::Relaxed);
             }
         }
         if req.is_shardable() {
@@ -682,6 +768,12 @@ impl Dispatcher {
                     self.dedupe
                         .record(req.session(), reply.seq, key, resp.clone());
                     reply.answer(&resp);
+                    // Compaction rides the barrier path because this is
+                    // the one place the engine is known quiescent: the
+                    // drain above emptied every shard queue and only
+                    // this thread submits new jobs, so a read lock sees
+                    // a consistent, fully-applied state to snapshot.
+                    self.maybe_compact();
                 }
                 Err(_) => {
                     self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
@@ -697,6 +789,64 @@ impl Dispatcher {
         }
     }
 
+    /// Run a compaction cycle when a threshold is crossed. A failed
+    /// cycle is logged and absorbed: the journal tail still covers
+    /// everything, so serving (and durability) continue unharmed.
+    fn maybe_compact(&mut self) {
+        if self.journal.is_none()
+            || !self
+                .policy
+                .due(self.ops_applied - self.base, self.tail_bytes)
+        {
+            return;
+        }
+        if let Err(e) = self.compact() {
+            eprintln!("compaction failed (serving continues): {e}");
+        }
+    }
+
+    /// One compaction cycle: write + fsync a checkpoint at
+    /// `ops_applied`, then atomically truncate the journal to an empty
+    /// tail based at the same count. Ordering is the crash-safety
+    /// argument — the checkpoint is durable before the tail it
+    /// replaces is dropped, so every kill window leaves a recoverable
+    /// (checkpoint, tail) pair.
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+    fn compact(&mut self) -> io::Result<()> {
+        let path = self
+            .journal_path
+            .clone()
+            .expect("an open journal implies a journal path");
+        let cycle = self.cycles;
+        {
+            let engine = read_engine(&self.engine);
+            #[cfg(feature = "fault-inject")]
+            if self.fault.torn_checkpoint_at(cycle) {
+                checkpoint::save_torn_checkpoint(&path, &engine, &self.dedupe, self.ops_applied)?;
+                eprintln!(
+                    "fault-inject: torn checkpoint at cycle {cycle}; aborting before truncation"
+                );
+                std::process::abort();
+            }
+            checkpoint::save_checkpoint(&path, &engine, &self.dedupe, self.ops_applied)?;
+        }
+        // The old append handle points at the renamed-away inode; adopt
+        // the handle on the fresh tail.
+        self.journal = Some(Journal::truncate_to_base(&path, self.ops_applied)?);
+        let truncated = self.ops_applied - self.base;
+        self.base = self.ops_applied;
+        self.tail_bytes = 0;
+        self.cycles += 1;
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .truncated_ops
+            .fetch_add(truncated, Ordering::Relaxed);
+        self.stats.tail_len.store(0, Ordering::Relaxed);
+        #[cfg(feature = "fault-inject")]
+        self.fault.kill_checkpoint_at(cycle);
+        Ok(())
+    }
+
     /// Replace the (possibly poisoned, never-again-trusted) engine with
     /// one rebuilt from the journal — or a fresh one when the server
     /// runs without durability, which is still sound: an unjournaled
@@ -705,7 +855,18 @@ impl Dispatcher {
     fn rebuild(&mut self) {
         let (engine, dedupe) = match &self.journal_path {
             Some(path) => match journal::recover(path, self.shards) {
-                Ok(rec) => (rec.engine, rec.dedupe),
+                Ok(rec) => {
+                    // Re-derive the compaction counters from what the
+                    // recovery actually saw — the authoritative history
+                    // after any checkpoint + truncation.
+                    self.ops_applied = rec.history_ops;
+                    self.base = rec.journal_base;
+                    self.tail_bytes = std::fs::metadata(path).map_or(0, |m| m.len());
+                    self.stats
+                        .tail_len
+                        .store(self.ops_applied - self.base, Ordering::Relaxed);
+                    (rec.engine, rec.dedupe)
+                }
                 Err(_) => (ServiceEngine::with_shards(self.shards), DedupeWindow::new()),
             },
             None => (ServiceEngine::with_shards(self.shards), DedupeWindow::new()),
@@ -893,6 +1054,11 @@ struct StatsInner {
     deduped: AtomicU64,
     worker_panics: AtomicU64,
     rebuilds: AtomicU64,
+    checkpoints: AtomicU64,
+    truncated_ops: AtomicU64,
+    /// Gauge, not a counter: the current replayable journal-tail
+    /// length in ops.
+    tail_len: AtomicU64,
     depth: AtomicU64,
     depth_peak: AtomicU64,
     latency_us: [AtomicU64; 64],
@@ -910,6 +1076,9 @@ impl StatsInner {
             deduped: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            truncated_ops: AtomicU64::new(0),
+            tail_len: AtomicU64::new(0),
             depth: AtomicU64::new(0),
             depth_peak: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -972,6 +1141,9 @@ impl StatsInner {
             deduped: self.deduped.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            truncated_ops: self.truncated_ops.load(Ordering::Relaxed),
+            tail_len: self.tail_len.load(Ordering::Relaxed),
         }
     }
 }

@@ -291,6 +291,13 @@ pub struct StatsSnapshot {
     pub worker_panics: u64,
     /// Engine rebuilds from the journal after a poisoned barrier.
     pub rebuilds: u64,
+    /// Compaction cycles completed (checkpoint written + WAL truncated).
+    pub checkpoints: u64,
+    /// Journal entries removed by compaction over the server's lifetime.
+    pub truncated_ops: u64,
+    /// Mutating ops currently in the journal tail — what a crash right
+    /// now would replay (a gauge, not a counter).
+    pub tail_len: u64,
 }
 
 impl StatsSnapshot {
@@ -299,7 +306,8 @@ impl StatsSnapshot {
     pub fn encode(&self) -> String {
         format!(
             "admitted={} busy={} malformed={} completed={} sessions={} depth_peak={} p50_us={} p99_us={} \
-             depth={} retryable={} journaled={} deduped={} panics={} rebuilds={}",
+             depth={} retryable={} journaled={} deduped={} panics={} rebuilds={} ckpts={} \
+             truncated={} tail={}",
             self.admitted,
             self.busy_rejected,
             self.malformed,
@@ -314,6 +322,9 @@ impl StatsSnapshot {
             self.deduped,
             self.worker_panics,
             self.rebuilds,
+            self.checkpoints,
+            self.truncated_ops,
+            self.tail_len,
         )
     }
 
@@ -344,6 +355,9 @@ impl StatsSnapshot {
                 "deduped" => s.deduped = v,
                 "panics" => s.worker_panics = v,
                 "rebuilds" => s.rebuilds = v,
+                "ckpts" => s.checkpoints = v,
+                "truncated" => s.truncated_ops = v,
+                "tail" => s.tail_len = v,
                 _ => {}
             }
         }
@@ -675,6 +689,9 @@ mod tests {
                     deduped: 1,
                     worker_panics: 2,
                     rebuilds: 1,
+                    checkpoints: 2,
+                    truncated_ops: 40,
+                    tail_len: 3,
                 },
             },
             ServerFrame::Bye { seq: 12 },
@@ -729,6 +746,9 @@ mod tests {
             deduped: 7,
             worker_panics: 2,
             rebuilds: 1,
+            checkpoints: 5,
+            truncated_ops: 320,
+            tail_len: 6,
         };
         let text = stats.encode();
         assert_eq!(StatsSnapshot::decode(&text), Ok(stats), "{text:?}");

@@ -469,6 +469,39 @@ def self_test():
     )
     assert len(fails) == 1 and "matches traces/DIGESTS" in fails[0], fails
 
+    # e19's compaction table gates the tail bound alongside the digest:
+    # "tail ops" is numeric (so it gates at REL_TOL — an inflated tail
+    # means compaction stopped bounding recovery), "tail ≤ every" and
+    # the digest are non-numeric and must match exactly.
+    cmp_headers = (
+        "every", "kill at", "checkpoints", "truncated ops", "tail ops",
+        "tail ≤ every", "digest", "matches traces/DIGESTS",
+    )
+    cmp_base = doc(
+        [["4", "34", "10", "40", "2", "yes", "742004f52561bb35", "yes"]],
+        headers=cmp_headers,
+    )
+    fails, _, _ = compare_docs(cmp_base, cmp_base)
+    assert not fails, fails
+    fails, _, _ = compare_docs(
+        cmp_base,
+        doc(
+            [["4", "34", "10", "40", "2", "yes", "742004f52561bb45", "yes"]],
+            headers=cmp_headers,
+        ),
+    )
+    assert len(fails) == 1 and "digest" in fails[0], fails
+    fails, _, _ = compare_docs(
+        cmp_base,
+        doc(
+            [["4", "34", "10", "40", "42", "NO", "742004f52561bb35", "yes"]],
+            headers=cmp_headers,
+        ),
+    )
+    assert len(fails) == 2, fails
+    assert any("tail ops" in f_ for f_ in fails), fails
+    assert any("tail ≤ every" in f_ for f_ in fails), fails
+
     # A whole experiment dropped from the current artifact fails — even
     # when it contributed no tables, the case the per-table loop cannot
     # see (a silently dropped registry entry must not pass the gate).
@@ -500,7 +533,7 @@ def self_test():
     assert "scale=full" in text and "e13" in text, text
     assert any("total" in line and "401.500" in line for line in summary), summary
 
-    print("check_bench self-test OK (17 scenarios)")
+    print("check_bench self-test OK (18 scenarios)")
 
 
 if __name__ == "__main__":

@@ -12,10 +12,12 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use byzscore_board::par::set_thread_limit;
+use byzscore_service::checkpoint::{checkpoint_path, previous_checkpoint_path};
 use byzscore_service::net::{replay_with_options, request_stats, ReplayOptions};
 use byzscore_service::{
-    combined_digest, parse_op, FaultPlan, NetConfig, Request, Server, ServiceEngine, Trace,
-    TraceSpec,
+    combined_digest, parse_op, FaultPlan, JournaledEngine, NetConfig, RecoverySource, Request,
+    Server, ServiceEngine, Trace, TraceSpec, DEFAULT_SHARDS,
 };
 
 fn spawn_server(config: NetConfig) -> SocketAddr {
@@ -27,6 +29,13 @@ fn spawn_server(config: NetConfig) -> SocketAddr {
 
 fn temp_journal(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("byzscore_recovery_{tag}_{}", std::process::id()))
+}
+
+/// Remove a journal and both of its checkpoint generations.
+fn scrub(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(checkpoint_path(path));
+    let _ = std::fs::remove_file(previous_checkpoint_path(path));
 }
 
 fn ops(lines: &[&str]) -> Vec<Request> {
@@ -293,4 +302,178 @@ fn stalled_admission_trips_the_deadline_and_dedupes() {
         "the stale barrier hit the dedupe window"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// Checkpoint round-trip through the socket server, killed mid-trace,
+/// at 1/2/8 worker threads: the recovered server must come up from a
+/// checkpoint (not a full-journal replay) and the concatenated answers
+/// must match the uninterrupted in-process run bit-for-bit at every
+/// thread count — the warm≡cold pin extended to snapshot state.
+#[test]
+fn compaction_recovery_is_thread_count_invariant() {
+    let trace = Trace::generate(&TraceSpec::small(31));
+    let expected = trace.replay();
+    let cut = 2 * trace.ops.len() / 3;
+    for threads in [1usize, 2, 8] {
+        set_thread_limit(Some(threads));
+        let path = temp_journal(&format!("ckpt_threads{threads}"));
+        scrub(&path);
+
+        let before = spawn_server(NetConfig {
+            journal: Some(path.clone()),
+            compact_every: Some(4),
+            ..NetConfig::default()
+        });
+        let first = replay_with_options(before, &trace.ops[..cut], ReplayOptions::default())
+            .expect("prefix replay succeeds");
+
+        let recovered = Server::bind(
+            "127.0.0.1:0",
+            NetConfig {
+                journal: Some(path.clone()),
+                recover: true,
+                compact_every: Some(4),
+                ..NetConfig::default()
+            },
+        )
+        .expect("recovery bind succeeds");
+        assert_eq!(
+            recovered.recovery_source(),
+            Some(RecoverySource::Checkpoint),
+            "with every=4 compaction the prefix leaves a covering checkpoint"
+        );
+        let mutating = trace.ops[..cut].iter().filter(|o| o.is_mutating()).count();
+        assert!(
+            recovered.recovered_ops() < mutating,
+            "the checkpoint bounded the tail below a full replay \
+             ({} vs {mutating} at {threads} threads)",
+            recovered.recovered_ops()
+        );
+        let after = recovered.local_addr();
+        thread::spawn(move || recovered.run());
+        let rest = replay_with_options(after, &trace.ops[cut..], ReplayOptions::default())
+            .expect("post-recovery replay succeeds");
+
+        let mut all = first.responses;
+        all.extend(rest.responses);
+        assert_eq!(
+            all, expected,
+            "answers diverged across a checkpointed crash at {threads} threads"
+        );
+        scrub(&path);
+    }
+    set_thread_limit(None);
+}
+
+/// A primary checkpoint that lost its footer (the partial-write tear
+/// the footer exists to detect) is skipped in favour of the rotated
+/// previous generation, and the recovered server still answers
+/// bit-identically.
+#[test]
+fn torn_primary_checkpoint_falls_back_to_previous_generation() {
+    let trace = Trace::generate(&TraceSpec::small(37));
+    let expected = trace.replay();
+    let cut = trace.ops.len() - 2;
+    let path = temp_journal("torn_ckpt");
+    scrub(&path);
+
+    let before = spawn_server(NetConfig {
+        journal: Some(path.clone()),
+        compact_every: Some(3),
+        ..NetConfig::default()
+    });
+    let first = replay_with_options(before, &trace.ops[..cut], ReplayOptions::default())
+        .expect("prefix replay succeeds");
+
+    // The crash window: a later cycle rotated the good checkpoint to
+    // .prev and published a torn primary, dying before truncation —
+    // keep the fallback covering the journal base, lose the footer.
+    let primary = checkpoint_path(&path);
+    let bytes = std::fs::read(&primary).expect("primary checkpoint exists after compaction");
+    std::fs::copy(&primary, previous_checkpoint_path(&path)).expect("rotate to prev");
+    std::fs::write(&primary, &bytes[..bytes.len() * 2 / 3]).expect("tear the primary");
+
+    let recovered = Server::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            journal: Some(path.clone()),
+            recover: true,
+            compact_every: Some(3),
+            ..NetConfig::default()
+        },
+    )
+    .expect("recovery tolerates the torn primary");
+    assert_eq!(
+        recovered.recovery_source(),
+        Some(RecoverySource::PreviousCheckpoint),
+        "the torn footer forced the previous-generation fallback"
+    );
+    let after = recovered.local_addr();
+    thread::spawn(move || recovered.run());
+    let rest = replay_with_options(after, &trace.ops[cut..], ReplayOptions::default())
+        .expect("post-recovery replay succeeds");
+
+    let mut all = first.responses;
+    all.extend(rest.responses);
+    assert_eq!(all, expected, "answers diverged across a torn checkpoint");
+    scrub(&path);
+}
+
+/// The other crash window: the checkpoint is durable but the journal
+/// truncation never happened (kill between `save_checkpoint` and the
+/// tail rename). The journal then still holds ops the checkpoint
+/// already covers — recovery must skip exactly those and replay
+/// nothing twice.
+#[test]
+fn durable_checkpoint_over_an_untruncated_journal_skips_covered_ops() {
+    let trace = Trace::generate(&TraceSpec::small(41));
+    let expected = trace.replay();
+    let cut = 2 * trace.ops.len() / 3;
+    let path = temp_journal("untruncated");
+    scrub(&path);
+
+    let mut responses = Vec::with_capacity(trace.ops.len());
+    {
+        let mut engine =
+            JournaledEngine::create(&path, DEFAULT_SHARDS).expect("journal create succeeds");
+        for (seq, op) in trace.ops[..cut].iter().enumerate() {
+            responses.push(
+                engine
+                    .submit(seq as u64, op)
+                    .expect("journal append succeeds"),
+            );
+        }
+        // Freeze the pre-compaction journal (base 0, every op), then
+        // compact and put the old bytes back: checkpoint at K over a
+        // journal whose base marker says 0 — the exact state a kill
+        // between the checkpoint fsync and the tail rename leaves.
+        let pre_compaction = std::fs::read(&path).expect("journal readable");
+        engine.compact().expect("compaction succeeds");
+        std::fs::write(&path, pre_compaction).expect("restore the untruncated journal");
+    }
+
+    let (mut engine, report) =
+        JournaledEngine::recover(&path, DEFAULT_SHARDS).expect("recovery succeeds");
+    let mutating = trace.ops[..cut].iter().filter(|o| o.is_mutating()).count();
+    assert_eq!(
+        report, 0,
+        "every journal entry was already covered by the checkpoint"
+    );
+    assert_eq!(
+        engine.history_ops(),
+        mutating as u64,
+        "the skipped entries still count toward the history"
+    );
+    for (seq, op) in trace.ops.iter().enumerate().skip(cut) {
+        responses.push(
+            engine
+                .submit(seq as u64, op)
+                .expect("journal append succeeds"),
+        );
+    }
+    assert_eq!(
+        responses, expected,
+        "answers diverged across an untruncated-journal recovery"
+    );
+    scrub(&path);
 }
